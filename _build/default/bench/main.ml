@@ -1,0 +1,138 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation on the simulated T5440, plus Bechamel
+   microbenchmarks of native (Atomic-based) lock primitive costs.
+
+     dune exec bench/main.exe            # everything (~2 minutes)
+     dune exec bench/main.exe -- quick   # reduced sweep (~20 s)
+
+   Figures 2-5 derive from one LBench sweep; Figure 6 from the abortable
+   sweep; Tables 1-2 from the KV-store and allocator workloads. The
+   Bechamel section measures single-thread acquire+release latency of
+   each lock over real atomics — the low-contention overhead that
+   Figure 4 shows must stay competitive. *)
+
+open Bechamel
+module X = Harness.Experiments
+module W = Apps.Kv_workload
+module Nm = Numa_native.Nat_mem
+module LI = Cohort.Lock_intf
+
+let topology = Numa_base.Topology.t5440
+
+(* --- Bechamel: native uncontended lock cost ----------------------------- *)
+
+module NBo = Cohort.Bo_lock.Make (Nm)
+module NTkt = Cohort.Ticket_lock.Make (Nm)
+module NMcs = Cohort.Mcs_lock.Make (Nm)
+module NClh = Cohort.Clh_lock.Make (Nm)
+module NC_bo_bo = Cohort.Cohort_locks.C_bo_bo (Nm)
+module NC_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (Nm)
+module NC_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (Nm)
+module NC_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (Nm)
+module NC_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (Nm)
+module NHbo = Baselines.Hbo_lock.Make (Nm)
+module NFcmcs = Baselines.Fc_mcs.Make (Nm)
+module NHclh = Baselines.Hclh_lock.Make (Nm)
+
+let native_cycle_test name (module L : LI.LOCK) =
+  let cfg = { LI.default with LI.clusters = 4; max_threads = 8 } in
+  let l = L.create cfg in
+  Nm.set_identity ~tid:0 ~cluster:0;
+  let th = L.register l ~tid:0 ~cluster:0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         L.acquire th;
+         L.release th))
+
+let native_tests =
+  [
+    native_cycle_test "BO" (module NBo.Plain);
+    native_cycle_test "TKT" (module NTkt.Plain);
+    native_cycle_test "MCS" (module NMcs.Plain);
+    native_cycle_test "CLH" (module NClh.Plain);
+    native_cycle_test "HBO" (module NHbo.Lock);
+    native_cycle_test "HCLH" (module NHclh);
+    native_cycle_test "FC-MCS" (module NFcmcs);
+    native_cycle_test "C-BO-BO" (module NC_bo_bo);
+    native_cycle_test "C-TKT-TKT" (module NC_tkt_tkt);
+    native_cycle_test "C-BO-MCS" (module NC_bo_mcs);
+    native_cycle_test "C-TKT-MCS" (module NC_tkt_mcs);
+    native_cycle_test "C-MCS-MCS" (module NC_mcs_mcs);
+  ]
+
+let run_bechamel () =
+  print_endline
+    "=== Native uncontended acquire+release latency (Bechamel, ns/cycle) ===";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%8.1f" e
+            | _ -> "       ?"
+          in
+          Printf.printf "  %-24s %s ns\n%!" name est)
+        analyzed)
+    native_tests;
+  print_newline ()
+
+(* --- Simulated figures and tables --------------------------------------- *)
+
+let run_sim ~quick =
+  let seed = 42 in
+  let duration = if quick then 2_000_000 else 5_000_000 in
+  let fig_threads =
+    if quick then [ 1; 8; 64; 256 ]
+    else [ 1; 2; 4; 8; 16; 32; 64; 128; 192; 256 ]
+  in
+  let t1_threads =
+    if quick then [ 1; 8; 32; 128 ] else [ 1; 4; 8; 16; 32; 64; 96; 128 ]
+  in
+  let t2_threads =
+    if quick then [ 1; 8; 64; 255 ] else [ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
+  in
+  Printf.printf "%s\n\n%!" (X.params_summary ~topology ~duration ~seed);
+  let sweep =
+    X.microbench_sweep ~topology ~threads:fig_threads ~duration ~seed ()
+  in
+  X.print_fig2 sweep;
+  X.print_fig3 sweep;
+  X.print_fig4 sweep;
+  X.print_fig5 sweep;
+  X.print_fig5_latency sweep;
+  let asweep =
+    X.abortable_sweep ~topology ~threads:fig_threads ~duration ~seed
+      ~patience:2_000_000 ()
+  in
+  X.print_fig6 asweep;
+  List.iter
+    (fun mix ->
+      X.print_table
+        (X.table1 ~topology ~threads:t1_threads ~duration ~seed ~mix ()))
+    [ W.read_heavy; W.mixed; W.write_heavy ];
+  X.print_table (X.table2 ~topology ~threads:t2_threads ~duration ~seed ());
+  X.print_table
+    (X.ablation_handoff_bound ~topology ~n_threads:64 ~duration ~seed ());
+  X.print_table (X.ablation_hbo_tuning ~topology ~duration ~seed ());
+  X.print_table (X.ablation_policy ~topology ~n_threads:64 ~duration ~seed ());
+  X.print_table
+    (X.extension_blocking ~topology ~threads:t1_threads ~duration ~seed ());
+  X.print_table (X.extension_rw ~topology ~n_threads:64 ~duration ~seed ());
+  X.print_table
+    (X.extension_bimodal ~topology ~n_threads:32 ~duration ~seed ());
+  X.print_table (X.topology_sensitivity ~n_threads:64 ~duration ~seed ());
+  X.print_table
+    (X.composition_matrix ~topology ~n_threads:64 ~duration ~seed ())
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  run_bechamel ();
+  run_sim ~quick

@@ -1,0 +1,74 @@
+(* Contended throughput of the NATIVE (Atomic-backed) locks on real
+   domains.
+
+     dune exec bin/native_bench.exe -- [domains] [millis]
+
+   Complements bench/main.exe's Bechamel section (uncontended cost) with
+   a contended measurement. Caveat for interpreting numbers: when domains
+   outnumber cores — certainly in this container — spin locks progress
+   through pre-emption and Nat_mem's sleep escalation, so this measures
+   lock overhead under oversubscription, not NUMA behaviour; use the
+   simulator for the paper's experiments. *)
+
+module Nm = Numa_native.Nat_mem
+module LI = Cohort.Lock_intf
+
+module Bo = Cohort.Bo_lock.Make (Nm)
+module Tkt = Cohort.Ticket_lock.Make (Nm)
+module Mcs = Cohort.Mcs_lock.Make (Nm)
+module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (Nm)
+module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (Nm)
+module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (Nm)
+module C_blk_blk = Cohort.Cohort_locks.C_blk_blk (Nm)
+module Pthread = Baselines.Pthread_like.Make (Nm)
+
+let locks : (string * (module LI.LOCK)) list =
+  [
+    ("BO", (module Bo.Plain));
+    ("TKT", (module Tkt.Plain));
+    ("MCS", (module Mcs.Plain));
+    ("pthread-like", (module Pthread));
+    ("C-BO-MCS", (module C_bo_mcs));
+    ("C-TKT-TKT", (module C_tkt_tkt));
+    ("C-TKT-MCS", (module C_tkt_mcs));
+    ("C-BLK-BLK", (module C_blk_blk));
+  ]
+
+let bench ~domains ~millis (name, (module L : LI.LOCK)) =
+  let cfg = { LI.default with LI.clusters = 2; max_threads = domains } in
+  let l = L.create cfg in
+  let stop = Atomic.make false in
+  let counts = Array.make domains 0 in
+  let ds =
+    List.init domains (fun tid ->
+        Domain.spawn (fun () ->
+            let cluster = tid mod 2 in
+            Nm.set_identity ~tid ~cluster;
+            let th = L.register l ~tid ~cluster in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              L.acquire th;
+              incr n;
+              L.release th
+            done;
+            counts.(tid) <- !n))
+  in
+  Unix.sleepf (float_of_int millis /. 1000.);
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  let total = Array.fold_left ( + ) 0 counts in
+  Printf.printf "  %-14s %10.0f acquires/s\n%!" name
+    (float_of_int total /. (float_of_int millis /. 1000.))
+
+let () =
+  let domains =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 3
+  in
+  let millis =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 250
+  in
+  Printf.printf
+    "native contended lock throughput: %d domains, %d ms window (1-core \
+     container: measures oversubscribed overhead, not NUMA)\n"
+    domains millis;
+  List.iter (bench ~domains ~millis) locks

@@ -1,0 +1,369 @@
+(* Command-line driver regenerating every figure and table of the paper.
+
+   Examples:
+     repro figs                     # figures 2-5 from one sweep
+     repro fig6 --patience-us 300
+     repro table1 --mix write
+     repro table2 --threads 1,2,4,8,16,32,64,128,255
+     repro all --duration-ms 20 --csv-dir out/ *)
+
+open Cmdliner
+module X = Harness.Experiments
+module R = Harness.Report
+module W = Apps.Kv_workload
+
+let topology = Numa_base.Topology.t5440
+
+let threads_conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (`Msg "expected a comma-separated list of ints")
+  in
+  let print ppf l =
+    Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv (parse, print)
+
+let default_threads = [ 1; 2; 4; 8; 16; 32; 64; 128; 192; 256 ]
+let default_app_threads = [ 1; 4; 8; 16; 32; 64; 96; 128 ]
+
+let threads_arg ~default =
+  Arg.(
+    value
+    & opt threads_conv default
+    & info [ "threads" ] ~docv:"N,N,..." ~doc:"Thread counts to sweep.")
+
+let duration_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "duration-ms" ] ~docv:"MS"
+        ~doc:"Simulated measurement window per data point, in milliseconds.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let patience_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "patience-us" ] ~docv:"US"
+        ~doc:"Abortable-lock patience in microseconds (Figure 6).")
+
+let csv_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write CSV files into $(docv).")
+
+let mix_arg =
+  let mix_conv =
+    Arg.enum
+      [ ("read", [ W.read_heavy ]); ("mixed", [ W.mixed ]);
+        ("write", [ W.write_heavy ]);
+        ("all", [ W.read_heavy; W.mixed; W.write_heavy ]) ]
+  in
+  Arg.(
+    value & opt mix_conv [ W.read_heavy; W.mixed; W.write_heavy ]
+    & info [ "mix" ] ~docv:"MIX" ~doc:"Table 1 get/set mix: read|mixed|write|all.")
+
+let maybe_csv csv_dir name ~x_label ~columns ~rows =
+  Option.iter
+    (fun dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".csv") in
+      R.write_file path (R.csv_of_series ~x_label ~columns ~rows);
+      Printf.printf "wrote %s\n%!" path)
+    csv_dir
+
+let banner duration seed =
+  Printf.printf "%s\n%!"
+    (X.params_summary ~topology ~duration:(duration * 1_000_000) ~seed)
+
+let run_figs ~which threads duration seed csv_dir =
+  banner duration seed;
+  let duration = duration * 1_000_000 in
+  let s = X.microbench_sweep ~topology ~threads ~duration ~seed () in
+  if List.mem `F2 which then begin
+    X.print_fig2 s;
+    maybe_csv csv_dir "fig2" ~x_label:"threads" ~columns:s.X.columns
+      ~rows:(X.throughput_rows s)
+  end;
+  if List.mem `F3 which then begin
+    X.print_fig3 s;
+    maybe_csv csv_dir "fig3" ~x_label:"threads" ~columns:s.X.columns
+      ~rows:(X.misses_rows s)
+  end;
+  if List.mem `F4 which then X.print_fig4 s;
+  if List.mem `F5 which then begin
+    X.print_fig5 s;
+    X.print_fig5_latency s;
+    maybe_csv csv_dir "fig5" ~x_label:"threads" ~columns:s.X.columns
+      ~rows:(X.fairness_rows s)
+  end
+
+let fig_cmd name which doc =
+  let run threads duration seed csv_dir =
+    run_figs ~which threads duration seed csv_dir
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run
+      $ threads_arg ~default:default_threads
+      $ duration_arg $ seed_arg $ csv_dir_arg)
+
+let fig6_cmd =
+  let run threads duration seed patience csv_dir =
+    banner duration seed;
+    let duration = duration * 1_000_000 in
+    let s =
+      X.abortable_sweep ~topology ~threads ~duration ~seed
+        ~patience:(patience * 1_000) ()
+    in
+    X.print_fig6 s;
+    maybe_csv csv_dir "fig6" ~x_label:"threads" ~columns:s.X.columns
+      ~rows:(X.throughput_rows s)
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Abortable lock throughput (Figure 6).")
+    Term.(
+      const run
+      $ threads_arg ~default:default_threads
+      $ duration_arg $ seed_arg $ patience_arg $ csv_dir_arg)
+
+let table1_cmd =
+  let run threads duration seed mixes csv_dir =
+    banner duration seed;
+    let duration = duration * 1_000_000 in
+    List.iter
+      (fun mix ->
+        let t = X.table1 ~topology ~threads ~duration ~seed ~mix () in
+        X.print_table t;
+        maybe_csv csv_dir
+          (Printf.sprintf "table1_%.0fpct_sets" (mix.W.set_ratio *. 100.))
+          ~x_label:"threads" ~columns:t.X.t_columns ~rows:t.X.t_rows)
+      mixes
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"memcached-style KV store speedups (Table 1).")
+    Term.(
+      const run
+      $ threads_arg ~default:default_app_threads
+      $ duration_arg $ seed_arg $ mix_arg $ csv_dir_arg)
+
+let table2_cmd =
+  let run threads duration seed csv_dir =
+    banner duration seed;
+    let duration = duration * 1_000_000 in
+    let t = X.table2 ~topology ~threads ~duration ~seed () in
+    X.print_table t;
+    maybe_csv csv_dir "table2" ~x_label:"threads" ~columns:t.X.t_columns
+      ~rows:t.X.t_rows
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Allocator stress, malloc-free pairs/ms (Table 2).")
+    Term.(
+      const run
+      $ threads_arg ~default:[ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
+      $ duration_arg $ seed_arg $ csv_dir_arg)
+
+let ablation_handoff_cmd =
+  let run n duration seed =
+    banner duration seed;
+    let t =
+      X.ablation_handoff_bound ~topology ~n_threads:n
+        ~duration:(duration * 1_000_000) ~seed ()
+    in
+    X.print_table t
+  in
+  Cmd.v
+    (Cmd.info "ablation-handoff"
+       ~doc:"Sweep of the may-pass-local bound (section 3.7).")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
+let ablation_policy_cmd =
+  let run n duration seed =
+    banner duration seed;
+    X.print_table
+      (X.ablation_policy ~topology ~n_threads:n
+         ~duration:(duration * 1_000_000) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ablation-policy"
+       ~doc:"Counted vs time-budget may-pass-local policies (section 2.1).")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
+let ext_blocking_cmd =
+  let run threads duration seed =
+    banner duration seed;
+    X.print_table
+      (X.extension_blocking ~topology ~threads
+         ~duration:(duration * 1_000_000) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ext-blocking"
+       ~doc:"Extension: the blocking cohort lock C-BLK-BLK.")
+    Term.(
+      const run
+      $ threads_arg ~default:default_app_threads
+      $ duration_arg $ seed_arg)
+
+let ext_rw_cmd =
+  let run n duration seed =
+    banner duration seed;
+    X.print_table
+      (X.extension_rw ~topology ~n_threads:n ~duration:(duration * 1_000_000)
+         ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ext-rw"
+       ~doc:"Extension: the NUMA-aware reader-writer lock C-RW-WP.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
+let matrix_cmd =
+  let run n duration seed =
+    banner duration seed;
+    X.print_table
+      (X.composition_matrix ~topology ~n_threads:n
+         ~duration:(duration * 1_000_000) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+        "LBench throughput of all 16 global x local cohort compositions.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
+let ext_bimodal_cmd =
+  let run n duration seed =
+    banner duration seed;
+    X.print_table
+      (X.extension_bimodal ~topology ~n_threads:n
+         ~duration:(duration * 1_000_000) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ext-bimodal"
+       ~doc:"Extension: bi-modal (phase-alternating) KV workload.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 32
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Server threads.")
+      $ duration_arg $ seed_arg)
+
+let topology_cmd =
+  let run n duration seed =
+    banner duration seed;
+    X.print_table
+      (X.topology_sensitivity ~n_threads:n ~duration:(duration * 1_000_000)
+         ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Cohort gain across machine shapes (UMA control, 2/4/8 sockets).")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
+let ablation_hbo_cmd =
+  let run duration seed =
+    banner duration seed;
+    let t =
+      X.ablation_hbo_tuning ~topology ~duration:(duration * 1_000_000) ~seed ()
+    in
+    X.print_table t
+  in
+  Cmd.v
+    (Cmd.info "ablation-hbo"
+       ~doc:"HBO backoff-parameter instability across workloads.")
+    Term.(const run $ duration_arg $ seed_arg)
+
+let all_cmd =
+  let run duration seed csv_dir =
+    banner duration seed;
+    run_figs ~which:[ `F2; `F3; `F4; `F5 ] default_threads duration seed
+      csv_dir;
+    let d = duration * 1_000_000 in
+    let s =
+      X.abortable_sweep ~topology ~threads:default_threads ~duration:d ~seed
+        ~patience:2_000_000 ()
+    in
+    X.print_fig6 s;
+    List.iter
+      (fun mix ->
+        X.print_table
+          (X.table1 ~topology ~threads:default_app_threads ~duration:d ~seed
+             ~mix ()))
+      [ W.read_heavy; W.mixed; W.write_heavy ];
+    X.print_table
+      (X.table2 ~topology
+         ~threads:[ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
+         ~duration:d ~seed ());
+    X.print_table (X.ablation_handoff_bound ~topology ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.ablation_hbo_tuning ~topology ~duration:d ~seed ());
+    X.print_table (X.ablation_policy ~topology ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.extension_blocking ~topology ~threads:default_app_threads ~duration:d ~seed ());
+    X.print_table (X.extension_rw ~topology ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.extension_bimodal ~topology ~n_threads:32 ~duration:d ~seed ());
+    X.print_table (X.topology_sensitivity ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.composition_matrix ~topology ~n_threads:64 ~duration:d ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every figure and table.")
+    Term.(const run $ duration_arg $ seed_arg $ csv_dir_arg)
+
+let () =
+  let cmds =
+    [
+      fig_cmd "fig2" [ `F2 ] "LBench throughput (Figure 2).";
+      fig_cmd "fig3" [ `F3 ] "L2 coherence misses per CS (Figure 3).";
+      fig_cmd "fig4" [ `F4 ] "Low-contention throughput (Figure 4).";
+      fig_cmd "fig5" [ `F5 ] "Fairness (Figure 5).";
+      fig_cmd "figs" [ `F2; `F3; `F4; `F5 ] "Figures 2-5 from one sweep.";
+      fig6_cmd;
+      table1_cmd;
+      table2_cmd;
+      ablation_handoff_cmd;
+      ablation_hbo_cmd;
+      ablation_policy_cmd;
+      topology_cmd;
+      ext_blocking_cmd;
+      ext_rw_cmd;
+      ext_bimodal_cmd;
+      matrix_cmd;
+      all_cmd;
+    ]
+  in
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Reproduce the evaluation of 'Lock Cohorting: A General Technique \
+         for Designing NUMA Locks' (PPoPP'12) on a simulated 4-socket NUMA \
+         machine."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/abortable_timeouts.ml: Baselines Cohort Harness Numa_base Numasim Printf

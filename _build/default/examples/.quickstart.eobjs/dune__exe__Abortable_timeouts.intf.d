@@ -1,0 +1,1 @@
+examples/abortable_timeouts.mli:

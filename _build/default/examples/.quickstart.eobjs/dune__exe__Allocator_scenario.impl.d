@@ -1,0 +1,1 @@
+examples/allocator_scenario.ml: Apps Baselines Cohort Numa_base Numasim Printf

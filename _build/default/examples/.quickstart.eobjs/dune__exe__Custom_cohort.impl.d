@@ -1,0 +1,1 @@
+examples/custom_cohort.ml: Cohort Harness List Numa_base Numasim Printf

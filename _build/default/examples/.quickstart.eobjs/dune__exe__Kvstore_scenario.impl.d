@@ -1,0 +1,1 @@
+examples/kvstore_scenario.ml: Apps Baselines Cohort Harness Numa_base Numasim Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cohort Domain List Numa_native Printf

@@ -1,0 +1,1 @@
+examples/striped_locks.ml: Apps Array Cohort Harness List Numa_base Numasim Printf

@@ -1,0 +1,1 @@
+examples/trace_visualize.ml: Baselines Cohort Harness List Numa_base Numasim Printf

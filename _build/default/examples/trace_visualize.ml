@@ -1,0 +1,52 @@
+(* Seeing cohort batching: trace lock ownership over a contended run and
+   draw which NUMA cluster held the lock over time.
+
+     dune exec examples/trace_visualize.exe
+
+   Each column is a slice of simulated time; the digit is the cluster
+   that owned the lock. A NUMA-oblivious lock shows confetti; a cohort
+   lock shows long same-digit runs — the batches that keep the critical
+   section's cache lines on one socket. *)
+
+module M = Numasim.Sim_mem
+module E = Numasim.Engine
+module LI = Cohort.Lock_intf
+module T = Harness.Trace
+
+let topology = Numa_base.Topology.t5440
+let n_threads = 32
+let duration = 200_000 (* a short window so individual batches are visible *)
+
+let show name (lock : (module LI.LOCK)) =
+  let (module L), events = T.wrap lock in
+  let cfg = { LI.default with LI.clusters = 4; max_threads = 256 } in
+  let l = L.create cfg in
+  ignore
+    (E.run ~topology ~n_threads (fun ~tid ~cluster ->
+         let th = L.register l ~tid ~cluster in
+         let rng = Numa_base.Prng.create (tid + 5) in
+         let rec loop () =
+           if M.now () < duration then begin
+             L.acquire th;
+             M.pause 150;
+             L.release th;
+             M.pause (Numa_base.Prng.int rng 2_000);
+             loop ()
+           end
+         in
+         loop ()));
+  let evs = events () in
+  Printf.printf "%-10s |%s|\n" name (T.render_timeline ~width:64 evs);
+  Printf.printf "%10s  mean batch %.1f, %d migrations, %d acquisitions\n\n" ""
+    (T.mean_batch evs) (T.migration_count evs)
+    (List.length (T.acquisitions evs))
+
+let () =
+  Printf.printf
+    "Lock ownership timeline (digit = cluster holding the lock):\n\n";
+  let module Mcs = Cohort.Mcs_lock.Make (M) in
+  let module Hbo = Baselines.Hbo_lock.Make (M) in
+  let module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M) in
+  show "MCS" (module Mcs.Plain);
+  show "HBO" (module Hbo.Lock);
+  show "C-BO-MCS" (module C_bo_mcs)

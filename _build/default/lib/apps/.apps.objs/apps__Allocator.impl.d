@@ -1,0 +1,1 @@
+lib/apps/allocator.ml: Array Numa_base Printf Splay

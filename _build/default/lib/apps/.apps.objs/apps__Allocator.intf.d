@@ -1,0 +1,1 @@
+lib/apps/allocator.mli: Numa_base

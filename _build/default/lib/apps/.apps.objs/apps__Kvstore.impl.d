@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Array List Numa_base Printf

@@ -1,0 +1,66 @@
+(** A memaslap-like workload generator for the {!Kvstore} experiment.
+
+    memaslap issues a configurable mixture of get and set requests over a
+    key space; the paper runs 90/10, 50/50 and 10/90 get/set mixes
+    (Table 1 a-c). Keys are drawn uniformly, as in memaslap's default
+    distribution. *)
+
+type op = Get of int | Set of int * int
+
+type mix = { label : string; set_ratio : float }
+
+let read_heavy = { label = "90% gets / 10% sets"; set_ratio = 0.1 }
+let mixed = { label = "50% gets / 50% sets"; set_ratio = 0.5 }
+let write_heavy = { label = "10% gets / 90% sets"; set_ratio = 0.9 }
+
+type phase = { period : int; ratio_a : float; ratio_b : float }
+
+type t = {
+  prng : Numa_base.Prng.t;
+  n_keys : int;
+  mutable set_ratio : float;
+  phase : phase option;
+  mutable issued : int;
+}
+
+let validate_ratio r =
+  if r < 0.0 || r > 1.0 then
+    invalid_arg "Kv_workload: set_ratio outside [0,1]"
+
+let make ~seed ~n_keys ~mix:(mix : mix) =
+  if n_keys <= 0 then invalid_arg "Kv_workload.make: n_keys <= 0";
+  validate_ratio mix.set_ratio;
+  {
+    prng = Numa_base.Prng.create seed;
+    n_keys;
+    set_ratio = mix.set_ratio;
+    phase = None;
+    issued = 0;
+  }
+
+let make_bimodal ~seed ~n_keys ~period ~mix_a:(mix_a : mix)
+    ~mix_b:(mix_b : mix) =
+  if n_keys <= 0 then invalid_arg "Kv_workload.make_bimodal: n_keys <= 0";
+  if period <= 0 then invalid_arg "Kv_workload.make_bimodal: period <= 0";
+  validate_ratio mix_a.set_ratio;
+  validate_ratio mix_b.set_ratio;
+  {
+    prng = Numa_base.Prng.create seed;
+    n_keys;
+    set_ratio = mix_a.set_ratio;
+    phase =
+      Some { period; ratio_a = mix_a.set_ratio; ratio_b = mix_b.set_ratio };
+    issued = 0;
+  }
+
+let next t =
+  (match t.phase with
+  | Some p ->
+      t.set_ratio <-
+        (if t.issued / p.period mod 2 = 0 then p.ratio_a else p.ratio_b)
+  | None -> ());
+  t.issued <- t.issued + 1;
+  let k = Numa_base.Prng.int t.prng t.n_keys in
+  if Numa_base.Prng.chance t.prng t.set_ratio then
+    Set (k, Numa_base.Prng.int t.prng 1_000_000)
+  else Get k

@@ -1,0 +1,32 @@
+(** A memaslap-like workload generator for the {!Kvstore} experiment:
+    a configurable get/set mixture over a uniform key space, matching the
+    three mixes of the paper's Table 1. Deterministic in the seed. *)
+
+type op = Get of int | Set of int * int
+
+type mix = { label : string; set_ratio : float }
+
+val read_heavy : mix
+(** 90% gets / 10% sets (Table 1a). *)
+
+val mixed : mix
+(** 50% / 50% (Table 1b). *)
+
+val write_heavy : mix
+(** 10% gets / 90% sets (Table 1c). *)
+
+type t
+
+val make : seed:int -> n_keys:int -> mix:mix -> t
+(** @raise Invalid_argument if [n_keys <= 0] or the ratio is outside
+    [0,1]. *)
+
+val make_bimodal :
+  seed:int -> n_keys:int -> period:int -> mix_a:mix -> mix_b:mix -> t
+(** The paper's bi-modal scenario (section 4.2): servers "alternating
+    between write-heavy and read-heavy phases". Alternates between the
+    two mixes every [period] operations.
+    @raise Invalid_argument on a non-positive key count or period, or a
+    ratio outside [0,1]. *)
+
+val next : t -> op

@@ -1,0 +1,1 @@
+lib/base/memory_intf.ml:

@@ -1,0 +1,1 @@
+lib/base/topology.ml: Format Latency Printf

@@ -1,0 +1,1 @@
+lib/base/topology.mli: Format Latency

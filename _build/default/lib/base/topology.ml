@@ -1,0 +1,46 @@
+type placement = Round_robin | Packed
+
+type t = {
+  name : string;
+  clusters : int;
+  threads_per_cluster : int;
+  placement : placement;
+  latency : Latency.t;
+}
+
+let make ?(name = "custom") ?(placement = Round_robin) ~clusters
+    ~threads_per_cluster latency =
+  if clusters < 1 then invalid_arg "Topology.make: clusters < 1";
+  if threads_per_cluster < 1 then
+    invalid_arg "Topology.make: threads_per_cluster < 1";
+  { name; clusters; threads_per_cluster; placement; latency }
+
+let t5440 =
+  make ~name:"t5440" ~clusters:4 ~threads_per_cluster:64 Latency.t5440
+
+let small = make ~name:"small" ~clusters:2 ~threads_per_cluster:4 Latency.t5440
+let total_threads t = t.clusters * t.threads_per_cluster
+
+let cluster_of_thread t tid =
+  if tid < 0 || tid >= total_threads t then
+    invalid_arg
+      (Printf.sprintf "Topology.cluster_of_thread: tid %d out of [0,%d)" tid
+         (total_threads t));
+  match t.placement with
+  | Round_robin -> tid mod t.clusters
+  | Packed -> tid / t.threads_per_cluster
+
+let threads_on_cluster t ~n_threads c =
+  let n = min n_threads (total_threads t) in
+  let count = ref 0 in
+  for tid = 0 to n - 1 do
+    if cluster_of_thread t tid = c then incr count
+  done;
+  !count
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d clusters x %d threads (%s)" t.name t.clusters
+    t.threads_per_cluster
+    (match t.placement with
+    | Round_robin -> "round-robin"
+    | Packed -> "packed")

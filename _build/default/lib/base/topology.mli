@@ -1,0 +1,51 @@
+(** NUMA machine topology.
+
+    A machine is a set of [clusters] (sockets / NUMA nodes), each with a
+    cluster-shared cache and [threads_per_cluster] hardware thread
+    contexts. Threads are identified by a dense integer id; a placement
+    policy maps thread ids to clusters. *)
+
+type placement =
+  | Round_robin
+      (** Thread [i] runs on cluster [i mod clusters]: thread counts are
+          balanced across clusters at every concurrency level. This is the
+          default and matches how the OS spreads unbound threads. *)
+  | Packed
+      (** Threads fill cluster 0 first, then cluster 1, ... Used to study
+          the single-cluster regime. *)
+
+type t = private {
+  name : string;
+  clusters : int;
+  threads_per_cluster : int;
+  placement : placement;
+  latency : Latency.t;
+}
+
+val make :
+  ?name:string ->
+  ?placement:placement ->
+  clusters:int ->
+  threads_per_cluster:int ->
+  Latency.t ->
+  t
+(** @raise Invalid_argument if [clusters] or [threads_per_cluster] < 1. *)
+
+val t5440 : t
+(** The paper's machine: 4 clusters x 64 hardware threads, T5440
+    latencies, round-robin placement. *)
+
+val small : t
+(** 2 clusters x 4 threads; convenient in unit tests. *)
+
+val total_threads : t -> int
+
+val cluster_of_thread : t -> int -> int
+(** [cluster_of_thread t tid] is the cluster thread [tid] runs on.
+    @raise Invalid_argument if [tid] is outside [0, total_threads). *)
+
+val threads_on_cluster : t -> n_threads:int -> int -> int
+(** [threads_on_cluster t ~n_threads c] is how many of the first
+    [n_threads] thread ids are placed on cluster [c]. *)
+
+val pp : Format.formatter -> t -> unit

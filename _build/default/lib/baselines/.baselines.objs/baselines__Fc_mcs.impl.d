@@ -1,0 +1,1 @@
+lib/baselines/fc_mcs.ml: Array Cohort List Numa_base Option

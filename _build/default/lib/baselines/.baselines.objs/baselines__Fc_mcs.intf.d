@@ -1,0 +1,1 @@
+lib/baselines/fc_mcs.mli: Cohort Numa_base

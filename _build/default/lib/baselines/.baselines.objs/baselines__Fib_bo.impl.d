@@ -1,0 +1,1 @@
+lib/baselines/fib_bo.ml: Cohort Numa_base

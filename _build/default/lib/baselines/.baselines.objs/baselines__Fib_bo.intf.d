@@ -1,0 +1,1 @@
+lib/baselines/fib_bo.mli: Cohort Numa_base

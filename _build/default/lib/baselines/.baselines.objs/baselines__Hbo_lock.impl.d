@@ -1,0 +1,1 @@
+lib/baselines/hbo_lock.ml: Cohort Numa_base

@@ -1,0 +1,1 @@
+lib/baselines/hbo_lock.mli: Cohort Numa_base

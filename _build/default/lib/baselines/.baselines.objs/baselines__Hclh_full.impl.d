@@ -1,0 +1,1 @@
+lib/baselines/hclh_full.ml: Array Cohort Numa_base Printf

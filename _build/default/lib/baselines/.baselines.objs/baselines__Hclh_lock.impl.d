@@ -1,0 +1,1 @@
+lib/baselines/hclh_lock.ml: Array Cohort Numa_base Printf

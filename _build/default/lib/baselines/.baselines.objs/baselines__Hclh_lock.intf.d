@@ -1,0 +1,1 @@
+lib/baselines/hclh_lock.mli: Cohort Numa_base

@@ -1,0 +1,1 @@
+lib/baselines/pthread_like.ml: Cohort Numa_base

@@ -1,0 +1,1 @@
+lib/baselines/pthread_like.mli: Cohort Numa_base

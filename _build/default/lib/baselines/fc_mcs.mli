@@ -1,0 +1,8 @@
+(** FC-MCS: the flat-combining NUMA lock of Dice, Marathe & Shavit
+    (SPAA'11) — the strongest prior NUMA-aware lock in the paper's
+    evaluation. Per-cluster publication arrays; a combiner gathers posted
+    requests into an MCS chain and splices it into the global queue with
+    one swap. Batches are static (fixed at scan time) — the contrast with
+    cohort locks' dynamically-growing batches that section 4.1.2 draws. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK

@@ -1,0 +1,37 @@
+(** Test-and-test-and-set lock with Fibonacci backoff — the paper's
+    "Fib-BO" baseline from the memcached and malloc experiments
+    (Tables 1 and 2). Identical to the BO lock except for the slower
+    backoff growth curve. *)
+
+module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
+struct
+  module LI = Cohort.Lock_intf
+
+  type t = { state : int M.cell; cfg : LI.config }
+  type thread = { l : t; back : Cohort.Backoff.t }
+
+  let name = "Fib-BO"
+  let create cfg = { state = M.cell' ~name:"fibbo.state" 0; cfg }
+
+  let register l ~tid ~cluster:_ =
+    {
+      l;
+      back =
+        Cohort.Backoff.make ~policy:Cohort.Backoff.Fibonacci
+          ~min:l.cfg.LI.bo_min ~max:l.cfg.LI.bo_max ~salt:tid ();
+    }
+
+  let acquire th =
+    let state = th.l.state in
+    let rec loop () =
+      ignore (M.wait_until state (fun v -> v = 0));
+      if M.cas state ~expect:0 ~desire:1 then Cohort.Backoff.reset th.back
+      else begin
+        M.pause (Cohort.Backoff.next th.back);
+        loop ()
+      end
+    in
+    loop ()
+
+  let release th = M.write th.l.state 0
+end

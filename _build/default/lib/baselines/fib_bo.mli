@@ -1,0 +1,5 @@
+(** Test-and-test-and-set lock with Fibonacci backoff — the paper's
+    "Fib-BO" baseline from the memcached and malloc experiments
+    (Tables 1-2). *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK

@@ -1,0 +1,20 @@
+(** HBO: the hierarchical backoff lock of Radović & Hagersten (HPCA'03)
+    — the simplest prior NUMA-aware lock the paper compares against, and
+    its trivially-abortable variant (Figure 6's A-HBO).
+
+    A TATAS lock whose word names the holder's cluster: contenders back
+    off briefly when the holder is local, and much longer when it is
+    remote. Performance hinges on four backoff parameters — the
+    instability Tables 1-2 demonstrate and
+    [Harness.Lock_registry.hbo_micro] / [hbo_app] parameterise. *)
+
+module Make (M : Numa_base.Memory_intf.MEMORY) : sig
+  type t
+  type thread
+
+  module Lock :
+    Cohort.Lock_intf.LOCK with type t = t and type thread = thread
+
+  module Abortable :
+    Cohort.Lock_intf.ABORTABLE_LOCK with type t = t and type thread = thread
+end

@@ -1,0 +1,94 @@
+(** HCLH, following the published algorithm of Luchangco, Nussbaum &
+    Shavit (Euro-Par'06) more closely than {!Hclh_lock}: the local queue
+    is never closed; instead the master tags the spliced batch's tail
+    with [tail_when_spliced], and the tagged node's local successor
+    discovers it has become the next master.
+
+    Each node carries one atomically-updated word colocating
+    [successor_must_wait] (the CLH grant bit) and [tail_when_spliced].
+    A waiter in the local queue watches its predecessor until either the
+    grant arrives ([successor_must_wait = false], and the predecessor was
+    part of its batch) or the splice tag appears (it is the head of the
+    next batch and must splice). The master swaps the global tail with
+    the current local tail — splicing every request enqueued so far in
+    one shot — tags that tail, and then waits CLH-style on its global
+    predecessor. Both flag updates CAS the shared word because a node's
+    release and its tagging can race.
+
+    Differences from the published code that do not affect the measured
+    behaviour: nodes are allocated per acquisition and reclaimed by the
+    GC instead of being recycled through the queues (which is what makes
+    the original need the cluster-id tag in the word), and the master
+    splices immediately (the paper's grow-the-batch wait is the
+    [hclh_window] knob of {!Hclh_lock}; see the cohorting paper's
+    section 1 on that trade-off). *)
+
+module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
+struct
+  module LI = Cohort.Lock_intf
+
+  type word = { smw : bool; tws : bool }
+  (* successor_must_wait, tail_when_spliced; fresh box per transition so
+     CAS compares the exact value read. *)
+
+  type node = { w : word M.cell }
+
+  let make_node word = { w = M.cell (M.line ~name:"hclhf.node" ()) word }
+
+  (* Monotone flag updates: at most two writers race on a word (the
+     node's owner clearing smw, one master setting tws), so the retry
+     loops terminate. *)
+  let rec clear_smw n =
+    let v = M.read n.w in
+    if not (M.cas n.w ~expect:v ~desire:{ v with smw = false }) then
+      clear_smw n
+
+  let rec set_tws n =
+    let v = M.read n.w in
+    if not (M.cas n.w ~expect:v ~desire:{ v with tws = true }) then set_tws n
+
+  type t = {
+    ltails : node option M.cell array;
+    gtail : node M.cell;
+  }
+
+  type thread = { l : t; cluster : int; mutable my : node }
+
+  let name = "HCLH-full"
+
+  let create cfg =
+    {
+      ltails =
+        Array.init cfg.LI.clusters (fun i ->
+            M.cell' ~name:(Printf.sprintf "hclhf.ltail.%d" i) None);
+      gtail = M.cell' ~name:"hclhf.gtail" (make_node { smw = false; tws = false });
+    }
+
+  let register l ~tid:_ ~cluster =
+    { l; cluster; my = make_node { smw = false; tws = false } }
+
+  let acquire th =
+    let n = make_node { smw = true; tws = false } in
+    th.my <- n;
+    let ltail = th.l.ltails.(th.cluster) in
+    let become_master () =
+      (* Splice everything currently enqueued locally (ourselves
+         included) into the global queue, tag the spliced tail, and wait
+         on the global predecessor CLH-style. *)
+      let batch_tail =
+        match M.read ltail with Some t -> t | None -> assert false
+      in
+      let gpred = M.swap th.l.gtail batch_tail in
+      set_tws batch_tail;
+      ignore (M.wait_until gpred.w (fun s -> not s.smw))
+    in
+    match M.swap ltail (Some n) with
+    | None -> become_master ()
+    | Some pred ->
+        let s = M.wait_until pred.w (fun s -> s.tws || not s.smw) in
+        if s.tws then become_master ()
+    (* else: the predecessor was in our batch and released — we own the
+       lock (its smw cleared). *)
+
+  let release th = clear_smw th.my
+end

@@ -1,0 +1,8 @@
+(** HCLH: the hierarchical CLH queue lock of Luchangco, Nussbaum &
+    Shavit (Euro-Par'06). Per-cluster CLH queues whose head (the cluster
+    master) splices the batch into a global CLH queue with one swap; the
+    implementation header documents the structural simplification versus
+    the published algorithm and why it preserves what the cohorting
+    paper's evaluation exercises. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK

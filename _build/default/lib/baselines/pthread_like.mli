@@ -1,0 +1,5 @@
+(** A blocking adaptive mutex modelling the pthread mutex of the paper's
+    memcached and malloc baselines: one-CAS fast path, a bounded adaptive
+    spin, then futex-style parking with kernel-trap and wakeup costs. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK

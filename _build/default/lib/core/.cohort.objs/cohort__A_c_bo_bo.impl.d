@@ -1,0 +1,1 @@
+lib/core/a_c_bo_bo.ml: Array Backoff Lock_intf Numa_base Printf

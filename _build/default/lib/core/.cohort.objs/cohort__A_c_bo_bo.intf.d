@@ -1,0 +1,1 @@
+lib/core/a_c_bo_bo.mli: Lock_intf Numa_base

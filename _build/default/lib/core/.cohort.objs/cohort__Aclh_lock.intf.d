@@ -1,0 +1,1 @@
+lib/core/aclh_lock.mli: Lock_intf Numa_base

@@ -1,0 +1,1 @@
+lib/core/bo_lock.ml: Backoff Lock_intf Numa_base

@@ -1,0 +1,1 @@
+lib/core/clh_lock.ml: Lock_intf Numa_base

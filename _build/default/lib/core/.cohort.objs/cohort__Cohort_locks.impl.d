@@ -1,0 +1,1 @@
+lib/core/cohort_locks.ml: Bo_lock Cohorting Mcs_lock Numa_base Park_lock Rw_cohort Ticket_lock

@@ -1,0 +1,1 @@
+lib/core/cohort_locks.mli: Lock_intf Numa_base

@@ -1,0 +1,1 @@
+lib/core/cohorting.ml: Array Lock_intf Numa_base Printf

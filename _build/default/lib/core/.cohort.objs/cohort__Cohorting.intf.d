@@ -1,0 +1,1 @@
+lib/core/cohorting.mli: Lock_intf Numa_base

@@ -1,0 +1,1 @@
+lib/core/mcs_lock.ml: Array Lock_intf Numa_base Option

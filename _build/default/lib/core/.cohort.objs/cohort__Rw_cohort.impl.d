@@ -1,0 +1,1 @@
+lib/core/rw_cohort.ml: Array Lock_intf Numa_base Printf

@@ -1,0 +1,1 @@
+lib/core/rw_cohort.mli: Lock_intf Numa_base

@@ -1,0 +1,1 @@
+lib/core/ticket_lock.ml: Lock_intf Numa_base

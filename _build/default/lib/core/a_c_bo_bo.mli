@@ -1,0 +1,10 @@
+(** A-C-BO-BO: the abortable cohort BO/BO lock (paper section 3.6.1).
+
+    C-BO-BO with timeouts. Aborting waiters retract the successor-exists
+    flag; the releaser double-checks it after a local handoff and
+    reclaims a handoff nobody will take (ABA-protected by boxing the lock
+    word per transition); an aborting thread that finds a stranded
+    release-local state rescues it, releasing the global lock. See the
+    implementation for the full protocol discussion. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Lock_intf.ABORTABLE_LOCK

@@ -1,0 +1,12 @@
+(** A-C-BO-CLH: the abortable cohort lock with a global BO lock and
+    abortable CLH local locks (paper section 3.6.2) — the
+    best-performing abortable lock in the paper's Figure 6.
+
+    Each local queue node colocates its release state with a
+    successor-aborted flag in one atomically-updated word; local handoff
+    is a single CAS on a cluster-resident line, and the CAS/colocation
+    guarantee that a successor granted the lock locally cannot have
+    aborted (the strengthened cohort-detection requirement of
+    section 3.6). *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : Lock_intf.ABORTABLE_LOCK

@@ -1,0 +1,10 @@
+(** Abortable CLH lock (Scott, PODC 2002) — the paper's A-CLH baseline
+    (Figure 6) and the conceptual basis of the A-C-BO-CLH local lock.
+    An aborting waiter makes its predecessor explicit in its own node;
+    the successor re-targets its spin there. Timed-out acquisitions that
+    race with a grant may still return [true] (the grant persists on the
+    node and is never lost). *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : sig
+  module Abortable : Lock_intf.ABORTABLE_LOCK
+end

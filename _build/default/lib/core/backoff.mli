@@ -1,0 +1,23 @@
+(** Bounded randomized backoff policies.
+
+    Delays are deterministic functions of the (salt, attempt) pair so that
+    simulation runs are reproducible; the jitter de-synchronises
+    contenders that fail a CAS at the same instant. *)
+
+type policy =
+  | Exponential  (** delay doubles per attempt (classic TATAS-BO). *)
+  | Fibonacci
+      (** delay grows along the Fibonacci sequence (the paper's Fib-BO
+          memcached baseline). *)
+
+type t
+
+val make : ?policy:policy -> min:int -> max:int -> salt:int -> unit -> t
+(** [salt] should be unique per thread (e.g. the thread id). *)
+
+val next : t -> int
+(** The delay in ns to wait before the next attempt; grows per call until
+    saturated at [max]. *)
+
+val reset : t -> unit
+(** Call after a successful acquisition. *)

@@ -1,0 +1,27 @@
+(** Test-and-test-and-set lock with exponential backoff (the paper's
+    "BO" lock) and its cohort adapters. See the implementation header for
+    the protocol details of each variant.
+
+    The lock-word states are exposed for white-box tests. *)
+
+module Make (M : Numa_base.Memory_intf.MEMORY) : sig
+  val free_global : int
+  (** Unlocked; the next acquirer must take the global lock (also the
+      plain lock's "unlocked"). *)
+
+  val busy : int
+  val free_local : int
+  (** Unlocked with implicit global ownership for the next local taker. *)
+
+  (** The classic TATAS-BO lock. *)
+  module Plain : Lock_intf.LOCK
+
+  (** Thread-oblivious; spins without backoff, per the paper's
+      observation that a cohort lock's global BO lock is lightly
+      contended (section 4.1). *)
+  module Global : Lock_intf.GLOBAL
+
+  (** The 3-state local BO lock of C-BO-BO with the successor-exists
+      cohort-detection flag (section 3.1). *)
+  module Local : Lock_intf.LOCAL
+end

@@ -1,0 +1,117 @@
+(** The five non-abortable cohort locks of the paper (section 3),
+    as one-line instantiations of the {!Cohorting} transformation. *)
+
+module Memory = Numa_base.Memory_intf
+
+(** C-BO-BO (section 3.1): global BO lock, local 3-state BO locks with a
+    successor-exists flag. *)
+module C_bo_bo (M : Memory.MEMORY) = struct
+  module B = Bo_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-BO-BO"
+      end)
+      (M)
+      (B.Global)
+      (B.Local)
+end
+
+(** C-TKT-TKT (section 3.2): ticket locks at both levels; cohort
+    detection compares the request and grant counters, local handoff sets
+    the top-granted flag. *)
+module C_tkt_tkt (M : Memory.MEMORY) = struct
+  module T = Ticket_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-TKT-TKT"
+      end)
+      (M)
+      (T.Global)
+      (T.Local)
+end
+
+(** C-BO-MCS (section 3.3, Figure 1): global BO lock, local MCS queues —
+    the best-scaling lock in the paper's evaluation. *)
+module C_bo_mcs (M : Memory.MEMORY) = struct
+  module B = Bo_lock.Make (M)
+  module Q = Mcs_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-BO-MCS"
+      end)
+      (M)
+      (B.Global)
+      (Q.Local)
+end
+
+(** C-TKT-MCS (section 3.5): global ticket lock (fair, no node
+    circulation), local MCS queues (local spinning). *)
+module C_tkt_mcs (M : Memory.MEMORY) = struct
+  module T = Ticket_lock.Make (M)
+  module Q = Mcs_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-TKT-MCS"
+      end)
+      (M)
+      (T.Global)
+      (Q.Local)
+end
+
+(** C-MCS-MCS (section 3.4): MCS at both levels; the global MCS is made
+    thread-oblivious by circulating queue nodes through per-thread
+    pools. *)
+module C_mcs_mcs (M : Memory.MEMORY) = struct
+  module Q = Mcs_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-MCS-MCS"
+      end)
+      (M)
+      (Q.Global)
+      (Q.Local)
+end
+
+(** C-BLK-BLK: a {e blocking} cohort lock — spin-then-park mutexes at both
+    levels. Not in the paper, which only notes (section 2.1) that the
+    transformation applies to blocking locks as easily as to spin locks;
+    this instantiation demonstrates it. The cohort keeps the lock inside a
+    cluster while the remote waiters sleep, so the park/resume costs that
+    make plain blocking mutexes slow under contention are paid off the
+    critical path. *)
+module C_blk_blk (M : Memory.MEMORY) = struct
+  module B = Park_lock.Make (M)
+
+  include
+    Cohorting.Make
+      (struct
+        let name = "C-BLK-BLK"
+      end)
+      (M)
+      (B.Global)
+      (B.Local)
+end
+
+(** C-RW-WP: a NUMA-aware writer-preference reader-writer lock whose
+    writers serialise through C-BO-MCS (see {!Rw_cohort}). *)
+module C_rw_bo_mcs (M : Memory.MEMORY) = struct
+  module Mutex = C_bo_mcs (M)
+
+  include
+    Rw_cohort.Make
+      (struct
+        let name = "C-RW-WP<BO-MCS>"
+      end)
+      (M)
+      (Mutex)
+end

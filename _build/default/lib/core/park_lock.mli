@@ -1,0 +1,16 @@
+(** A spin-then-park (blocking) lock and its cohort adapters — the
+    extension the paper's section 2.1 claims but never builds. Waiters
+    spin briefly, then pay a kernel-trap cost to sleep and a wakeup cost
+    to resume; the {!Make.Local} variant detects its cohort through a
+    waiter counter maintained with fetch-and-add. See
+    {!Cohort_locks.C_blk_blk}. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : sig
+  val spin_before_park : int
+  val park_cost : int
+  val resume_cost : int
+
+  module Plain : Lock_intf.LOCK
+  module Global : Lock_intf.GLOBAL
+  module Local : Lock_intf.LOCAL
+end

@@ -1,0 +1,81 @@
+(** NUMA-aware reader-writer locks built on cohort locks — the
+    writer-preference design of the paper's successor work (Calciu, Dice,
+    Lev, Luchangco, Marathe, Shavit, "NUMA-aware reader-writer locks",
+    PPoPP 2013), included here as the natural extension of cohorting.
+
+    Structure:
+    - writers serialise through any cohort (or plain) mutex [W], so
+      consecutive writers enjoy cohort locality;
+    - readers indicate presence on a {e per-cluster} reader counter (its
+      own cache line), so concurrent readers on different clusters never
+      touch each other's lines;
+    - a writer raises a barrier flag, then waits for every cluster's
+      reader count to drain; arriving readers that see the barrier
+      retract their count and wait — writer preference, which keeps write
+      latency bounded under read-heavy load (the C-RW-WP variant).
+
+    Fairness caveat (as in the original): a steady stream of writers can
+    starve readers; choose [W]'s handoff policy accordingly. *)
+
+module Make
+    (Name : sig
+      val name : string
+    end)
+    (M : Numa_base.Memory_intf.MEMORY)
+    (W : Lock_intf.LOCK) : Lock_intf.RW_LOCK = struct
+  type t = {
+    wlock : W.t;
+    barrier : bool M.cell;
+    readers : int M.cell array;  (* one counter line per cluster *)
+  }
+
+  type thread = { l : t; wt : W.thread; my_readers : int M.cell }
+
+  let name = Name.name
+
+  let create cfg =
+    {
+      wlock = W.create cfg;
+      barrier = M.cell' ~name:"rw.barrier" false;
+      readers =
+        Array.init cfg.Lock_intf.clusters (fun i ->
+            M.cell' ~name:(Printf.sprintf "rw.readers.%d" i) 0);
+    }
+
+  let register l ~tid ~cluster =
+    if cluster < 0 || cluster >= Array.length l.readers then
+      invalid_arg "Rw_cohort.register: cluster out of range";
+    {
+      l;
+      wt = W.register l.wlock ~tid ~cluster;
+      my_readers = l.readers.(cluster);
+    }
+
+  let read_lock th =
+    let l = th.l in
+    let rec loop () =
+      ignore (M.fetch_and_add th.my_readers 1);
+      if not (M.read l.barrier) then ()
+      else begin
+        (* A writer is pending or active: get out of its way and wait for
+           the barrier to drop (writer preference). *)
+        ignore (M.fetch_and_add th.my_readers (-1));
+        ignore (M.wait_until l.barrier not);
+        loop ()
+      end
+    in
+    loop ()
+
+  let read_unlock th = ignore (M.fetch_and_add th.my_readers (-1))
+
+  let write_lock th =
+    let l = th.l in
+    W.acquire th.wt;
+    M.write l.barrier true;
+    (* Wait for the in-flight readers of every cluster to drain. *)
+    Array.iter (fun c -> ignore (M.wait_until c (fun n -> n = 0))) l.readers
+
+  let write_unlock th =
+    M.write th.l.barrier false;
+    W.release th.wt
+end

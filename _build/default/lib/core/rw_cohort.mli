@@ -1,0 +1,16 @@
+(** NUMA-aware reader-writer locks built on cohort locks (extension; the
+    writer-preference C-RW-WP design of the paper's successor work,
+    Calciu et al., PPoPP 2013).
+
+    Writers serialise through the supplied mutex [W] (use a cohort lock
+    for writer locality); readers announce themselves on per-cluster
+    counter lines; a writer raises a barrier and waits for every
+    cluster's readers to drain, while arriving readers that see the
+    barrier stand aside — bounding write latency under read-heavy load at
+    the price of possible reader starvation under a write storm. *)
+
+module Make (_ : sig
+  val name : string
+end)
+(M : Numa_base.Memory_intf.MEMORY)
+(_ : Lock_intf.LOCK) : Lock_intf.RW_LOCK

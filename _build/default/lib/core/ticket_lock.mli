@@ -1,0 +1,10 @@
+(** Ticket lock (Mellor-Crummey & Scott) and its cohort adapters (paper
+    section 3.2). Trivially thread-oblivious — any thread may increment
+    [grant] — with cohort detection by comparing the two counters and
+    local handoff through the top-granted flag. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : sig
+  module Plain : Lock_intf.LOCK
+  module Global : Lock_intf.GLOBAL
+  module Local : Lock_intf.LOCAL
+end

@@ -1,0 +1,1 @@
+lib/harness/check_lock.ml: Cohort Printf

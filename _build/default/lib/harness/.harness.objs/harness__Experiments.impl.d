@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Apps Array Cohort Latency Lbench List Lock_registry Matrix Numa_base Numasim Option Printf Prng Report String Topology

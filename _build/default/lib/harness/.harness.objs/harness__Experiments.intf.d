@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Apps Lbench Lock_registry Numa_base

@@ -1,0 +1,1 @@
+lib/harness/lbench.ml: Array Cohort Numa_base Numasim Option Prng Stats

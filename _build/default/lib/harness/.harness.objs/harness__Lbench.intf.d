@@ -1,0 +1,1 @@
+lib/harness/lbench.mli: Cohort Numa_base

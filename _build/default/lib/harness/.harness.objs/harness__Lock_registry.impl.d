@@ -1,0 +1,1 @@
+lib/harness/lock_registry.ml: Baselines Cohort Fun Hashtbl List Numasim

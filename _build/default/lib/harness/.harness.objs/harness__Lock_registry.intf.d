@@ -1,0 +1,1 @@
+lib/harness/lock_registry.mli: Cohort

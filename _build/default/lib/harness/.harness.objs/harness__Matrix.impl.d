@@ -1,0 +1,1 @@
+lib/harness/matrix.ml: Array Cohort List Numasim

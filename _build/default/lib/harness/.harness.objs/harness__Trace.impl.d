@@ -1,0 +1,1 @@
+lib/harness/trace.ml: Bytes Char Cohort List Numasim String

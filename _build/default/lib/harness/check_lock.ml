@@ -1,0 +1,48 @@
+module LI = Cohort.Lock_intf
+
+exception Protocol_violation of string
+
+let wrap (module L : LI.LOCK) : (module LI.LOCK) =
+  let module C = struct
+    type t = { inner : L.t; mutable owner : int (* tid; -1 = free *) }
+    type thread = { l : t; th : L.thread; tid : int; mutable holds : bool }
+
+    let name = L.name ^ "+check"
+    let create cfg = { inner = L.create cfg; owner = -1 }
+
+    let register l ~tid ~cluster =
+      { l; th = L.register l.inner ~tid ~cluster; tid; holds = false }
+
+    let acquire w =
+      if w.holds then
+        raise
+          (Protocol_violation
+             (Printf.sprintf "%s: thread %d re-acquired a held handle" name
+                w.tid));
+      L.acquire w.th;
+      if w.l.owner <> -1 then
+        raise
+          (Protocol_violation
+             (Printf.sprintf
+                "%s: thread %d acquired while thread %d still holds — mutual \
+                 exclusion broken"
+                name w.tid w.l.owner));
+      w.l.owner <- w.tid;
+      w.holds <- true
+
+    let release w =
+      if not w.holds then
+        raise
+          (Protocol_violation
+             (Printf.sprintf "%s: thread %d released without holding" name
+                w.tid));
+      if w.l.owner <> w.tid then
+        raise
+          (Protocol_violation
+             (Printf.sprintf "%s: thread %d released but owner is %d" name
+                w.tid w.l.owner));
+      w.holds <- false;
+      w.l.owner <- -1;
+      L.release w.th
+  end in
+  (module C)

@@ -1,0 +1,20 @@
+(** A lock decorator that enforces the usage discipline of
+    {!Cohort.Lock_intf.LOCK} at runtime: acquire and release must
+    alternate per handle, and only the current holder may release. Wrap a
+    lock under test (or an application's lock during debugging) to turn
+    protocol misuse into an immediate exception instead of a mysterious
+    deadlock or safety violation.
+
+    The checker's own state is host-side and sequentially consistent only
+    under the simulator; under native parallel execution a protocol
+    violation may be detected late (never falsely). *)
+
+exception Protocol_violation of string
+
+val wrap :
+  (module Cohort.Lock_intf.LOCK) -> (module Cohort.Lock_intf.LOCK)
+(** Violations raise {!Protocol_violation}:
+    - [release] on a handle that is not holding;
+    - [acquire] on a handle that already holds (no reentrancy);
+    - [release] from a handle while a different handle holds (implies a
+      mutual-exclusion failure of the underlying lock). *)

@@ -1,0 +1,58 @@
+(** LBench: the paper's microbenchmark (section 4.1).
+
+    Each thread loops: acquire the central lock; execute a critical
+    section that increments four integer counters on each of two distinct
+    cache lines; release; then idle for a non-critical section of up to
+    4 µs. After the measurement window the benchmark reports aggregate
+    throughput, per-thread iteration statistics (long-term fairness,
+    Figure 5), lock-migration counts, and L2 coherence misses per
+    critical section (Figure 3). *)
+
+type result = {
+  lock_name : string;
+  n_threads : int;
+  duration_ns : int;  (** simulated measurement window. *)
+  iterations : int;  (** critical/non-critical section pairs completed. *)
+  throughput : float;  (** iterations per simulated second. *)
+  per_thread : int array;
+  fairness_stddev_pct : float;
+      (** stddev of per-thread throughput as % of mean (Figure 5). *)
+  migrations : int;
+      (** acquisitions whose cluster differs from the previous holder's. *)
+  misses_per_cs : float;  (** L2 coherence misses per CS (Figure 3). *)
+  aborts : int;  (** abortable runs only. *)
+  abort_rate : float;  (** aborts / attempts. *)
+  acquire_p50 : float;
+      (** median successful-acquire latency, ns (log-bucketed histogram
+          upper bound, ~2x resolution). *)
+  acquire_p99 : float;
+      (** 99th-percentile acquire latency, ns — tail waiting time, the
+          per-acquisition face of the Figure 5 fairness story. *)
+  acquire_max : float;
+}
+
+val run :
+  ?name:string ->
+  (module Cohort.Lock_intf.LOCK) ->
+  topology:Numa_base.Topology.t ->
+  cfg:Cohort.Lock_intf.config ->
+  n_threads:int ->
+  duration:int ->
+  seed:int ->
+  result
+
+val run_abortable :
+  ?name:string ->
+  (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
+  topology:Numa_base.Topology.t ->
+  cfg:Cohort.Lock_intf.config ->
+  n_threads:int ->
+  duration:int ->
+  seed:int ->
+  patience:int ->
+  result
+(** Like {!run}, but acquires with [try_acquire ~patience]; timed-out
+    attempts count as aborts and the thread retries after its
+    non-critical delay (keeping abort rates low, as in the paper's
+    Figure 6 runs, requires a patience comfortably above the typical
+    queueing delay). *)

@@ -1,0 +1,58 @@
+(** All locks instantiated over the simulated memory substrate, grouped
+    as in the paper's evaluation, with per-lock configuration tweaks
+    (notably the two HBO parameterisations whose instability Tables 1-2
+    demonstrate). *)
+
+module LI = Cohort.Lock_intf
+
+type entry = {
+  name : string;  (** display name; may differ from the module's. *)
+  lock : (module LI.LOCK);
+  tweak : LI.config -> LI.config;  (** per-lock config adjustment. *)
+}
+
+type abortable_entry = {
+  a_name : string;
+  a_lock : (module LI.ABORTABLE_LOCK);
+  a_tweak : LI.config -> LI.config;
+}
+
+val plain : string -> (module LI.LOCK) -> entry
+(** An entry with no config tweak. *)
+
+val hbo_micro : LI.config -> LI.config
+(** HBO backoff parameters tuned for the LBench microbenchmark (the
+    paper's "HBO" column). *)
+
+val hbo_app : LI.config -> LI.config
+(** HBO backoff parameters tuned for application-length critical
+    sections (the paper's "HBO (tuned)" column). *)
+
+val microbench_locks : entry list
+(** The Figure 2-5 line-up, in the paper's legend order (9 locks). *)
+
+val abortable_locks : abortable_entry list
+(** The Figure 6 line-up (4 locks). *)
+
+val app_locks : entry list
+(** The Table 1/2 line-up (11 locks; pthread first, as the
+    normalisation baseline). *)
+
+val extra_locks : entry list
+(** Locks outside the paper's evaluation line-ups (plain BO/TKT/CLH). *)
+
+val all_locks : entry list
+(** Every entry, deduplicated by name. *)
+
+val find : string -> entry option
+val find_abortable : string -> abortable_entry option
+
+(** Direct instantiations needed by extension experiments. *)
+
+module Blk : sig
+  module Plain : LI.LOCK
+  module Global : LI.GLOBAL
+  module Local : LI.LOCAL
+end
+
+module C_blk_blk : LI.COHORT_LOCK

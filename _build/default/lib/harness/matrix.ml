@@ -1,0 +1,77 @@
+(** The full composition matrix: every thread-oblivious global lock
+    crossed with every cohort-detecting local lock — 16 NUMA-aware locks,
+    of which the paper names five. This is the paper's generality claim
+    made executable: any pair composes through {!Cohort.Cohorting.Make}
+    with no per-pair code. *)
+
+module M = Numasim.Sim_mem
+module LI = Cohort.Lock_intf
+module Bo = Cohort.Bo_lock.Make (M)
+module Tkt = Cohort.Ticket_lock.Make (M)
+module Mcs = Cohort.Mcs_lock.Make (M)
+module Clh = Cohort.Clh_lock.Make (M)
+
+module Mk
+    (Name : sig
+      val name : string
+    end)
+    (G : LI.GLOBAL)
+    (L : LI.LOCAL) =
+  Cohort.Cohorting.Make (Name) (M) (G) (L)
+
+(* 16 instantiations, global x local. *)
+module C_bo_bo = Mk (struct let name = "C-BO-BO" end) (Bo.Global) (Bo.Local)
+module C_bo_tkt = Mk (struct let name = "C-BO-TKT" end) (Bo.Global) (Tkt.Local)
+module C_bo_mcs = Mk (struct let name = "C-BO-MCS" end) (Bo.Global) (Mcs.Local)
+module C_bo_clh = Mk (struct let name = "C-BO-CLH" end) (Bo.Global) (Clh.Local)
+module C_tkt_bo = Mk (struct let name = "C-TKT-BO" end) (Tkt.Global) (Bo.Local)
+module C_tkt_tkt =
+  Mk (struct let name = "C-TKT-TKT" end) (Tkt.Global) (Tkt.Local)
+module C_tkt_mcs =
+  Mk (struct let name = "C-TKT-MCS" end) (Tkt.Global) (Mcs.Local)
+module C_tkt_clh =
+  Mk (struct let name = "C-TKT-CLH" end) (Tkt.Global) (Clh.Local)
+module C_mcs_bo = Mk (struct let name = "C-MCS-BO" end) (Mcs.Global) (Bo.Local)
+module C_mcs_tkt =
+  Mk (struct let name = "C-MCS-TKT" end) (Mcs.Global) (Tkt.Local)
+module C_mcs_mcs =
+  Mk (struct let name = "C-MCS-MCS" end) (Mcs.Global) (Mcs.Local)
+module C_mcs_clh =
+  Mk (struct let name = "C-MCS-CLH" end) (Mcs.Global) (Clh.Local)
+module C_clh_bo = Mk (struct let name = "C-CLH-BO" end) (Clh.Global) (Bo.Local)
+module C_clh_tkt =
+  Mk (struct let name = "C-CLH-TKT" end) (Clh.Global) (Tkt.Local)
+module C_clh_mcs =
+  Mk (struct let name = "C-CLH-MCS" end) (Clh.Global) (Mcs.Local)
+module C_clh_clh =
+  Mk (struct let name = "C-CLH-CLH" end) (Clh.Global) (Clh.Local)
+
+let globals = [ "BO"; "TKT"; "MCS"; "CLH" ]
+let locals = [ "BO"; "TKT"; "MCS"; "CLH" ]
+
+(* Row-major, globals x locals. *)
+let cells : (module LI.LOCK) array =
+  [|
+    (module C_bo_bo); (module C_bo_tkt); (module C_bo_mcs); (module C_bo_clh);
+    (module C_tkt_bo); (module C_tkt_tkt); (module C_tkt_mcs);
+    (module C_tkt_clh); (module C_mcs_bo); (module C_mcs_tkt);
+    (module C_mcs_mcs); (module C_mcs_clh); (module C_clh_bo);
+    (module C_clh_tkt); (module C_clh_mcs); (module C_clh_clh);
+  |]
+
+let all : (string * (module LI.LOCK)) list =
+  Array.to_list
+    (Array.map (fun (module L : LI.LOCK) -> (L.name, (module L : LI.LOCK))) cells)
+
+let get ~global ~local =
+  let gi =
+    match List.find_index (( = ) global) globals with
+    | Some i -> i
+    | None -> invalid_arg ("Matrix.get: unknown global " ^ global)
+  in
+  let li =
+    match List.find_index (( = ) local) locals with
+    | Some i -> i
+    | None -> invalid_arg ("Matrix.get: unknown local " ^ local)
+  in
+  cells.((gi * List.length locals) + li)

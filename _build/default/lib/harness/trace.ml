@@ -1,0 +1,84 @@
+module M = Numasim.Sim_mem
+module LI = Cohort.Lock_intf
+
+type event = {
+  at : int;
+  tid : int;
+  cluster : int;
+  kind : [ `Acquire | `Release ];
+}
+
+let wrap (module L : LI.LOCK) =
+  let log = ref [] in
+  let module T = struct
+    type t = L.t
+    type thread = { th : L.thread; tid : int; cluster : int }
+
+    let name = L.name ^ "+trace"
+    let create cfg = L.create cfg
+
+    let register l ~tid ~cluster =
+      { th = L.register l ~tid ~cluster; tid; cluster }
+
+    let acquire w =
+      L.acquire w.th;
+      log :=
+        { at = M.now (); tid = w.tid; cluster = w.cluster; kind = `Acquire }
+        :: !log
+
+    let release w =
+      log :=
+        { at = M.now (); tid = w.tid; cluster = w.cluster; kind = `Release }
+        :: !log;
+      L.release w.th
+  end in
+  ((module T : LI.LOCK), fun () -> List.rev !log)
+
+let acquisitions events = List.filter (fun e -> e.kind = `Acquire) events
+
+let batches events =
+  let rec go acc run last = function
+    | [] -> List.rev (if run > 0 then run :: acc else acc)
+    | e :: rest ->
+        if e.cluster = last then go acc (run + 1) last rest
+        else go (if run > 0 then run :: acc else acc) 1 e.cluster rest
+  in
+  go [] 0 (-1) (acquisitions events)
+
+let migration_count events = max 0 (List.length (batches events) - 1)
+
+let mean_batch events =
+  match batches events with
+  | [] -> 0.
+  | bs ->
+      float_of_int (List.fold_left ( + ) 0 bs) /. float_of_int (List.length bs)
+
+let render_timeline ?(width = 80) events =
+  match events with
+  | [] -> String.make width '.'
+  | _ ->
+      let t_end =
+        List.fold_left (fun m e -> if e.at > m then e.at else m) 0 events
+      in
+      let t_end = max 1 t_end in
+      let buf = Bytes.make width '.' in
+      (* Walk events in order, painting the holder's cluster digit over
+         the [acquire, release) interval. *)
+      let col t = min (width - 1) (t * width / t_end) in
+      let rec go = function
+        | { kind = `Acquire; at; cluster; _ } :: rest ->
+            let upto =
+              match rest with
+              | { kind = `Release; at = r; _ } :: _ -> r
+              | _ -> t_end
+            in
+            let c0 = col at and c1 = col upto in
+            for c = c0 to max c0 (min (width - 1) c1) do
+              Bytes.set buf c (Char.chr (Char.code '0' + (cluster mod 10)))
+            done;
+            go rest
+        | _ :: rest -> go rest
+        | [] -> ()
+      in
+      go events;
+      Bytes.to_string buf

@@ -1,0 +1,40 @@
+(** Lock-ownership tracing and visualisation (simulation only).
+
+    {!wrap} decorates any lock with acquire/release event logging in
+    simulated time; the analysis helpers turn the log into the batching
+    behaviour the paper describes, and {!render_timeline} draws an ASCII
+    ownership chart — one character per time bucket, showing which NUMA
+    cluster held the lock — that makes cohort batching visible at a
+    glance (see [examples/trace_visualize.ml]). *)
+
+type event = {
+  at : int;  (** simulated ns. *)
+  tid : int;
+  cluster : int;
+  kind : [ `Acquire | `Release ];
+}
+
+val wrap :
+  (module Cohort.Lock_intf.LOCK) ->
+  (module Cohort.Lock_intf.LOCK) * (unit -> event list)
+(** [wrap lock] is a lock module with identical behaviour whose
+    acquisitions and releases are logged, and a function returning the
+    events in chronological order. Logging is host-side: it does not
+    perturb simulated time. *)
+
+val acquisitions : event list -> event list
+(** Just the [`Acquire] events, in order. *)
+
+val batches : event list -> int list
+(** Lengths of maximal runs of consecutive acquisitions from the same
+    cluster — the realised cohort batches, in order. *)
+
+val migration_count : event list -> int
+(** Number of cluster changes between consecutive acquisitions. *)
+
+val mean_batch : event list -> float
+
+val render_timeline : ?width:int -> event list -> string
+(** An ASCII chart of lock ownership over time: each column is a time
+    bucket labelled with the digit of the cluster that held the lock
+    (majority within the bucket), or ['.'] when it was free. *)

@@ -1,0 +1,1 @@
+lib/native/nat_mem.mli: Numa_base

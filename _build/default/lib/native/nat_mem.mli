@@ -1,0 +1,17 @@
+(** The native implementation of {!Numa_base.Memory_intf.MEMORY} over
+    [Atomic], for running the lock algorithms on real multicore OCaml.
+
+    Cache-line placement hints are accepted and ignored (OCaml gives no
+    portable control over object layout); waits are TTAS spins with
+    [Domain.cpu_relax] escalating to short sleeps, which keeps waiters
+    live even on machines with fewer cores than domains.
+
+    Because portable thread pinning is unavailable, the NUMA cluster of a
+    domain is declared, not discovered: call {!set_identity} right after
+    spawning a domain, before using any lock handle registered for it. *)
+
+include Numa_base.Memory_intf.MEMORY
+
+val set_identity : tid:int -> cluster:int -> unit
+(** Declare the calling domain's thread id and NUMA cluster (as used by
+    {!self_id} / {!self_cluster}). *)

@@ -1,0 +1,1 @@
+lib/sim/coherence.ml: Atomic Numa_base

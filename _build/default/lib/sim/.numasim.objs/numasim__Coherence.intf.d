@@ -1,0 +1,1 @@
+lib/sim/coherence.mli: Numa_base

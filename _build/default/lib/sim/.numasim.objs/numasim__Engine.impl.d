@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Atomic Coherence Effect Event_heap Hashtbl Interconnect List Numa_base Option Printexc Printf Topology

@@ -1,0 +1,1 @@
+lib/sim/interconnect.ml: Array Numa_base

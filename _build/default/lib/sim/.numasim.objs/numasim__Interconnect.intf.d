@@ -1,0 +1,1 @@
+lib/sim/interconnect.mli: Numa_base

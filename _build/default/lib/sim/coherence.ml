@@ -1,0 +1,143 @@
+type kind = Read | Write | Rmw
+
+type line = {
+  id : int;
+  name : string;
+  mutable owner : int;
+  mutable sharers : int;
+  mutable last_thread : int;
+  mutable busy_until : int;
+  mutable epoch : int;
+}
+
+type stats = {
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable local_hits : int;
+  mutable coherence_misses : int;
+  mutable memory_misses : int;
+  mutable invalidations : int;
+  mutable remote_txns : int;
+}
+
+let next_id = Atomic.make 0
+
+let make_line ?(name = "") () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    name;
+    owner = -1;
+    sharers = 0;
+    last_thread = -1;
+    busy_until = 0;
+    epoch = -1;
+  }
+
+let fresh_stats () =
+  {
+    accesses = 0;
+    l1_hits = 0;
+    local_hits = 0;
+    coherence_misses = 0;
+    memory_misses = 0;
+    invalidations = 0;
+    remote_txns = 0;
+  }
+
+let bit c = 1 lsl c
+
+(* A cross-cluster transfer occupies the line: later transfers queue
+   behind it. Returns the total latency including queueing. *)
+let transfer line ~now ~cost =
+  let start = if line.busy_until > now then line.busy_until else now in
+  line.busy_until <- start + cost;
+  start - now + cost
+
+let access st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster ~thread
+    kind =
+  if line.epoch <> epoch then begin
+    line.epoch <- epoch;
+    line.owner <- -1;
+    line.sharers <- 0;
+    line.last_thread <- -1;
+    line.busy_until <- 0
+  end;
+  st.accesses <- st.accesses + 1;
+  let extra = match kind with Rmw -> lat.atomic_extra | Read | Write -> 0 in
+  let latency =
+    match kind with
+    | Read ->
+        if line.owner = cluster || line.sharers land bit cluster <> 0 then
+          if line.last_thread = thread then begin
+            st.l1_hits <- st.l1_hits + 1;
+            lat.l1_hit
+          end
+          else begin
+            st.local_hits <- st.local_hits + 1;
+            lat.local_hit
+          end
+        else if line.owner >= 0 then begin
+          (* Modified in a remote cluster: cache-to-cache transfer,
+             demoting the owner to Shared. *)
+          st.coherence_misses <- st.coherence_misses + 1;
+          st.remote_txns <- st.remote_txns + 1;
+          line.sharers <- bit line.owner lor bit cluster;
+          line.owner <- -1;
+          transfer line ~now ~cost:lat.remote_transfer
+        end
+        else if line.sharers <> 0 then begin
+          (* Shared remotely only: fetch from a sharer. *)
+          st.coherence_misses <- st.coherence_misses + 1;
+          st.remote_txns <- st.remote_txns + 1;
+          line.sharers <- line.sharers lor bit cluster;
+          transfer line ~now ~cost:lat.remote_transfer
+        end
+        else begin
+          st.memory_misses <- st.memory_misses + 1;
+          line.sharers <- bit cluster;
+          lat.mem_access
+        end
+    | Write | Rmw ->
+        let l =
+          if line.owner = cluster then
+            if line.last_thread = thread then begin
+              st.l1_hits <- st.l1_hits + 1;
+              lat.l1_hit
+            end
+            else begin
+              st.local_hits <- st.local_hits + 1;
+              lat.local_hit
+            end
+          else if line.sharers = bit cluster then begin
+            (* Only we share it: silent-ish upgrade. *)
+            st.local_hits <- st.local_hits + 1;
+            lat.upgrade_local
+          end
+          else if line.sharers land bit cluster <> 0 then begin
+            (* We share it but so do remote clusters: invalidate them. *)
+            st.invalidations <- st.invalidations + 1;
+            st.remote_txns <- st.remote_txns + 1;
+            transfer line ~now ~cost:lat.remote_transfer
+          end
+          else if line.owner >= 0 then begin
+            st.coherence_misses <- st.coherence_misses + 1;
+            st.remote_txns <- st.remote_txns + 1;
+            transfer line ~now ~cost:lat.remote_transfer
+          end
+          else if line.sharers <> 0 then begin
+            st.coherence_misses <- st.coherence_misses + 1;
+            st.invalidations <- st.invalidations + 1;
+            st.remote_txns <- st.remote_txns + 1;
+            transfer line ~now ~cost:lat.remote_transfer
+          end
+          else begin
+            st.memory_misses <- st.memory_misses + 1;
+            lat.mem_access
+          end
+        in
+        line.owner <- cluster;
+        line.sharers <- 0;
+        l
+  in
+  line.last_thread <- thread;
+  latency + extra

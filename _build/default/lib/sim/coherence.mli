@@ -1,0 +1,58 @@
+(** MESI-style cache-line coherence model.
+
+    Each line is either Modified in exactly one cluster's cache, Shared by
+    a set of clusters, or Invalid everywhere. An access returns the
+    latency it costs and updates the line state; cross-cluster transfers
+    additionally serialise on the line itself ([busy_until]), which models
+    coherence arbitration: when a writer invalidates N spinning sharers,
+    their re-fetches queue behind one another, exactly the invalidation
+    storms that make NUMA-oblivious TATAS locks collapse.
+
+    The model also tracks the last accessing thread per line so that
+    repeated accesses by the same thread cost an L1 hit, making a
+    critical section that increments a counter several times cost one
+    transfer plus cheap L1 traffic (as on real hardware). *)
+
+type kind = Read | Write | Rmw
+
+type line = private {
+  id : int;
+  name : string;
+  mutable owner : int;  (** cluster holding the line Modified; -1 if none *)
+  mutable sharers : int;  (** bitmask of clusters holding it Shared *)
+  mutable last_thread : int;  (** last accessing thread, for L1 modelling *)
+  mutable busy_until : int;  (** line occupied by a transfer until then *)
+  mutable epoch : int;  (** run id; state auto-resets across runs *)
+}
+
+type stats = {
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable local_hits : int;
+  mutable coherence_misses : int;
+      (** local miss serviced by a remote cluster's cache: the paper's
+          Figure 3 metric. *)
+  mutable memory_misses : int;  (** no cache had the line. *)
+  mutable invalidations : int;
+      (** writes that had to invalidate remote sharers. *)
+  mutable remote_txns : int;  (** transactions that crossed the interconnect *)
+}
+
+val make_line : ?name:string -> unit -> line
+val fresh_stats : unit -> stats
+
+val access :
+  stats ->
+  Numa_base.Latency.t ->
+  line ->
+  now:int ->
+  epoch:int ->
+  cluster:int ->
+  thread:int ->
+  kind ->
+  int
+(** [access stats lat line ~now ~epoch ~cluster ~thread kind] performs the
+    state transition for [kind] by [thread] on [cluster] at time [now] and
+    returns the total latency (including any queueing on a busy line).
+    [epoch] identifies the simulation run; a line first touched in a new
+    epoch starts Invalid. *)

@@ -1,0 +1,239 @@
+open Numa_base
+open Effect.Deep
+
+type 'a op = {
+  o_line : Coherence.line;
+  o_kind : Coherence.kind;
+  o_run : unit -> 'a;
+}
+
+type 'a wait_desc = {
+  w_line : Coherence.line;
+  w_pred : unit -> 'a option;
+  w_timeout : int option;
+}
+
+type _ Effect.t +=
+  | Op : 'a op -> 'a Effect.t
+  | Wait : 'a wait_desc -> 'a option Effect.t
+  | Pause : int -> unit Effect.t
+  | Now : int Effect.t
+  | Self : (int * int) Effect.t
+
+type result = {
+  end_time : int;
+  coherence : Coherence.stats;
+  events : int;
+  threads_finished : int;
+}
+
+exception Deadlock of { live : int; blocked : int; at : int }
+exception Thread_failure of { tid : int; exn : exn; backtrace : string }
+
+type waiter = {
+  mutable w_active : bool;
+  w_untimed : bool;
+  w_check : unit -> bool;  (* true when the waiter was woken *)
+}
+
+type t = {
+  topo : Topology.t;
+  heap : (unit -> unit) Event_heap.t;
+  mutable now : int;
+  cstats : Coherence.stats;
+  icx : Interconnect.t;
+  waiters : (int, waiter list ref) Hashtbl.t;
+  mutable live : int;
+  mutable blocked : int;
+  mutable events : int;
+  epoch : int;
+}
+
+let epoch_counter = Atomic.make 0
+let schedule eng time thunk = Event_heap.add eng.heap ~time thunk
+
+(* Charge a memory access: coherence latency plus interconnect queueing
+   when the transaction crossed clusters. *)
+let access eng ~cluster ~thread line kind =
+  let before = eng.cstats.Coherence.remote_txns in
+  let lat =
+    Coherence.access eng.cstats eng.topo.latency line ~now:eng.now
+      ~epoch:eng.epoch ~cluster ~thread kind
+  in
+  if eng.cstats.Coherence.remote_txns > before then
+    lat + Interconnect.acquire eng.icx ~now:eng.now
+  else lat
+
+(* A write to [line] completed: wake every parked waiter whose predicate
+   now holds. Waiters wake in registration order; each wake performs a
+   charged re-read of the line, so a crowd of spinners re-fetches the line
+   serially — modelling coherence arbitration. *)
+let notify eng line =
+  match Hashtbl.find_opt eng.waiters line.Coherence.id with
+  | None -> ()
+  | Some r ->
+      let remaining =
+        List.filter (fun w -> w.w_active && not (w.w_check ())) !r
+      in
+      r := remaining
+
+let add_waiter eng line w =
+  let r =
+    match Hashtbl.find_opt eng.waiters line.Coherence.id with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add eng.waiters line.Coherence.id r;
+        r
+  in
+  r := !r @ [ w ]
+
+let handler eng ~tid ~cluster =
+  {
+    retc = (fun () -> eng.live <- eng.live - 1);
+    exnc =
+      (fun e ->
+        match e with
+        | Thread_failure _ -> raise e
+        | _ ->
+            let backtrace = Printexc.get_backtrace () in
+            raise (Thread_failure { tid; exn = e; backtrace }));
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Op o ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let lat = access eng ~cluster ~thread:tid o.o_line o.o_kind in
+                schedule eng (eng.now + lat) (fun () ->
+                    let v = o.o_run () in
+                    (match o.o_kind with
+                    | Coherence.Read -> ()
+                    | Coherence.Write | Coherence.Rmw -> notify eng o.o_line);
+                    continue k v))
+        | Wait d ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let deadline =
+                  Option.map (fun tmo -> eng.now + max 0 tmo) d.w_timeout
+                in
+                let untimed = deadline = None in
+                let finished = ref false in
+                let cur = ref None in
+                (* A waiter woken by a write re-reads the line (charged) and
+                   re-checks the predicate at delivery time; if the value
+                   changed back meanwhile — e.g. another thread already took
+                   the lock — it re-parks instead of acting on the stale
+                   observation. *)
+                let rec park () =
+                  let rec wtr =
+                    {
+                      w_active = true;
+                      w_untimed = untimed;
+                      w_check =
+                        (fun () ->
+                          match d.w_pred () with
+                          | None -> false
+                          | Some _ ->
+                              wtr.w_active <- false;
+                              if untimed then eng.blocked <- eng.blocked - 1;
+                              cur := None;
+                              let lat =
+                                access eng ~cluster ~thread:tid d.w_line
+                                  Coherence.Read
+                              in
+                              schedule eng (eng.now + lat) attempt;
+                              true);
+                    }
+                  in
+                  cur := Some wtr;
+                  if untimed then eng.blocked <- eng.blocked + 1;
+                  add_waiter eng d.w_line wtr
+                and attempt () =
+                  if not !finished then
+                    match d.w_pred () with
+                    | Some _ as r ->
+                        finished := true;
+                        continue k r
+                    | None -> park ()
+                in
+                Option.iter
+                  (fun dl ->
+                    schedule eng
+                      (if dl > eng.now then dl else eng.now)
+                      (fun () ->
+                        if not !finished then begin
+                          finished := true;
+                          (match !cur with
+                          | Some w ->
+                              w.w_active <- false;
+                              cur := None
+                          | None -> ());
+                          continue k None
+                        end))
+                  deadline;
+                let lat =
+                  access eng ~cluster ~thread:tid d.w_line Coherence.Read
+                in
+                schedule eng (eng.now + lat) attempt)
+        | Pause d ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                schedule eng (eng.now + max 0 d) (fun () -> continue k ()))
+        | Now -> Some (fun (k : (b, unit) continuation) -> continue k eng.now)
+        | Self ->
+            Some
+              (fun (k : (b, unit) continuation) -> continue k (tid, cluster))
+        | _ -> None);
+  }
+
+let run ~topology ~n_threads ?horizon body =
+  if n_threads < 1 then invalid_arg "Engine.run: n_threads < 1";
+  if n_threads > Topology.total_threads topology then
+    invalid_arg
+      (Printf.sprintf "Engine.run: %d threads exceed topology capacity %d"
+         n_threads
+         (Topology.total_threads topology));
+  let eng =
+    {
+      topo = topology;
+      heap = Event_heap.create ();
+      now = 0;
+      cstats = Coherence.fresh_stats ();
+      icx = Interconnect.create topology.latency;
+      waiters = Hashtbl.create 64;
+      live = n_threads;
+      blocked = 0;
+      events = 0;
+      epoch = Atomic.fetch_and_add epoch_counter 1;
+    }
+  in
+  for tid = 0 to n_threads - 1 do
+    let cluster = Topology.cluster_of_thread topology tid in
+    (* 1 ns stagger breaks the t=0 symmetry deterministically. *)
+    schedule eng tid (fun () ->
+        match_with (fun () -> body ~tid ~cluster) () (handler eng ~tid ~cluster))
+  done;
+  let hit_horizon = ref false in
+  let stop = ref false in
+  while not !stop do
+    match Event_heap.pop eng.heap with
+    | None -> stop := true
+    | Some (t, thunk) -> (
+        match horizon with
+        | Some h when t > h ->
+            hit_horizon := true;
+            stop := true
+        | _ ->
+            if t > eng.now then eng.now <- t;
+            eng.events <- eng.events + 1;
+            thunk ())
+  done;
+  if (not !hit_horizon) && eng.live > 0 then
+    raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
+  {
+    end_time = eng.now;
+    coherence = eng.cstats;
+    events = eng.events;
+    threads_finished = n_threads - eng.live;
+  }

@@ -1,0 +1,68 @@
+(** Discrete-event simulation engine.
+
+    Simulated threads are OCaml 5 effect fibers. Every shared-memory
+    operation performed through {!Sim_mem} suspends the fiber; the engine
+    charges latency from the {!Coherence} and {!Interconnect} models and
+    resumes the fiber at the corresponding simulated time. Events at equal
+    times run in issue order, so a run is a pure function of its inputs.
+
+    A thread body must eventually return (e.g. by checking
+    [Sim_mem.now ()] against a deadline); the engine runs until every
+    fiber has finished. If the event queue drains while fibers are still
+    blocked on {!Sim_mem.wait_until}, the run is genuinely deadlocked and
+    {!Deadlock} is raised — mutual-exclusion bugs fail loudly under test
+    rather than hanging. *)
+
+type result = {
+  end_time : int;  (** simulated ns at which the last event ran. *)
+  coherence : Coherence.stats;
+  events : int;  (** total events processed. *)
+  threads_finished : int;
+}
+
+exception Deadlock of { live : int; blocked : int; at : int }
+(** [live] fibers had not finished; [blocked] of them were parked in an
+    untimed [wait_until]. *)
+
+exception Thread_failure of { tid : int; exn : exn; backtrace : string }
+(** An exception escaped a thread body; the run is aborted. *)
+
+val run :
+  topology:Numa_base.Topology.t ->
+  n_threads:int ->
+  ?horizon:int ->
+  (tid:int -> cluster:int -> unit) ->
+  result
+(** [run ~topology ~n_threads body] starts [n_threads] fibers; thread
+    [tid] runs [body ~tid ~cluster] with its cluster given by the
+    topology's placement. Thread starts are staggered by 1 ns per tid to
+    break symmetry deterministically.
+
+    [horizon] is a hard stop: events after it are discarded and the run
+    returns with [threads_finished < n_threads] instead of raising. Use it
+    only as a backstop in tests.
+
+    @raise Invalid_argument if [n_threads] exceeds the topology capacity. *)
+
+(**/**)
+
+(* Effects — exposed for {!Sim_mem}; not part of the user API. *)
+
+type 'a op = {
+  o_line : Coherence.line;
+  o_kind : Coherence.kind;
+  o_run : unit -> 'a;  (** executes at the linearisation point. *)
+}
+
+type 'a wait_desc = {
+  w_line : Coherence.line;
+  w_pred : unit -> 'a option;
+  w_timeout : int option;
+}
+
+type _ Effect.t +=
+  | Op : 'a op -> 'a Effect.t
+  | Wait : 'a wait_desc -> 'a option Effect.t
+  | Pause : int -> unit Effect.t
+  | Now : int Effect.t
+  | Self : (int * int) Effect.t

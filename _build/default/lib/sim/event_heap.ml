@@ -1,0 +1,75 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable a : 'a entry array;
+  mutable n : int;
+  mutable next_seq : int;
+}
+
+let create () = { a = [||]; n = 0; next_seq = 0 }
+let size t = t.n
+let is_empty t = t.n = 0
+
+let less e1 e2 = e1.time < e2.time || (e1.time = e2.time && e1.seq < e2.seq)
+
+let grow t =
+  let cap = Array.length t.a in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  (* The dummy slot is never read: [n] bounds all accesses. *)
+  let dummy = t.a.(0) in
+  let a' = Array.make cap' dummy in
+  Array.blit t.a 0 a' 0 t.n;
+  t.a <- a'
+
+let add t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.n = 0 && Array.length t.a = 0 then t.a <- Array.make 64 e
+  else if t.n = Array.length t.a then grow t;
+  (* Sift up. *)
+  let a = t.a in
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  a.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less a.(!i) a.(parent) then begin
+      let tmp = a.(parent) in
+      a.(parent) <- a.(!i);
+      a.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let a = t.a in
+    let top = a.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      a.(0) <- a.(t.n);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && less a.(l) a.(!smallest) then smallest := l;
+        if r < t.n && less a.(r) a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = a.(!smallest) in
+          a.(!smallest) <- a.(!i);
+          a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.n = 0 then None else Some t.a.(0).time
+let clear t = t.n <- 0

@@ -1,0 +1,20 @@
+(** Binary min-heap of timestamped events.
+
+    Events with equal timestamps pop in insertion (FIFO) order, which
+    makes the simulation fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> 'a -> unit
+(** O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. O(log n). *)
+
+val peek_time : 'a t -> int option
+
+val clear : 'a t -> unit

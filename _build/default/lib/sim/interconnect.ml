@@ -1,0 +1,22 @@
+type t = { chans : int array; occupancy : int }
+
+let create (lat : Numa_base.Latency.t) =
+  {
+    chans = Array.make (max 1 lat.interconnect_channels) 0;
+    occupancy = lat.interconnect_occupancy;
+  }
+
+let acquire t ~now =
+  if t.occupancy = 0 then 0
+  else begin
+    (* Earliest-free channel. *)
+    let best = ref 0 in
+    for i = 1 to Array.length t.chans - 1 do
+      if t.chans.(i) < t.chans.(!best) then best := i
+    done;
+    let start = if t.chans.(!best) > now then t.chans.(!best) else now in
+    t.chans.(!best) <- start + t.occupancy;
+    start - now
+  end
+
+let reset t = Array.fill t.chans 0 (Array.length t.chans) 0

@@ -1,0 +1,20 @@
+(** Global interconnect contention model.
+
+    Every cross-cluster transaction occupies one of a small number of
+    parallel channels for a fixed occupancy time; when all channels are
+    busy the transaction queues. Together with per-line serialisation in
+    {!Coherence} this makes remote traffic progressively more expensive as
+    the machine loads up (paper, section 4.1.2: "remote L2 accesses always
+    incur latency costs even if the interconnect is otherwise idle, but
+    they can also induce interconnect channel contention under heavy
+    load"). *)
+
+type t
+
+val create : Numa_base.Latency.t -> t
+
+val acquire : t -> now:int -> int
+(** [acquire t ~now] reserves a channel for one transaction starting at
+    [now] and returns the queueing delay (0 if a channel is free). *)
+
+val reset : t -> unit

@@ -1,0 +1,97 @@
+type line = Coherence.line
+type 'a cell = { v : 'a ref; cline : Coherence.line }
+
+let line ?name () = Coherence.make_line ?name ()
+let cell cline v = { v = ref v; cline }
+let cell' ?name v = { v = ref v; cline = Coherence.make_line ?name () }
+
+let read c =
+  Effect.perform
+    (Engine.Op
+       { o_line = c.cline; o_kind = Coherence.Read; o_run = (fun () -> !(c.v)) })
+
+let write c x =
+  Effect.perform
+    (Engine.Op
+       {
+         o_line = c.cline;
+         o_kind = Coherence.Write;
+         o_run = (fun () -> c.v := x);
+       })
+
+let cas c ~expect ~desire =
+  Effect.perform
+    (Engine.Op
+       {
+         o_line = c.cline;
+         o_kind = Coherence.Rmw;
+         o_run =
+           (fun () ->
+             if !(c.v) == expect then begin
+               c.v := desire;
+               true
+             end
+             else false);
+       })
+
+let swap c x =
+  Effect.perform
+    (Engine.Op
+       {
+         o_line = c.cline;
+         o_kind = Coherence.Rmw;
+         o_run =
+           (fun () ->
+             let old = !(c.v) in
+             c.v := x;
+             old);
+       })
+
+let fetch_and_add c d =
+  Effect.perform
+    (Engine.Op
+       {
+         o_line = c.cline;
+         o_kind = Coherence.Rmw;
+         o_run =
+           (fun () ->
+             let old = !(c.v) in
+             c.v := old + d;
+             old);
+       })
+
+let wait_until c p =
+  let desc =
+    Engine.
+      {
+        w_line = c.cline;
+        w_pred =
+          (fun () ->
+            let v = !(c.v) in
+            if p v then Some v else None);
+        w_timeout = None;
+      }
+  in
+  match Effect.perform (Engine.Wait desc) with
+  | Some v -> v
+  | None -> assert false (* untimed waits never time out *)
+
+let wait_until_for c p ~timeout =
+  let desc =
+    Engine.
+      {
+        w_line = c.cline;
+        w_pred =
+          (fun () ->
+            let v = !(c.v) in
+            if p v then Some v else None);
+        w_timeout = Some timeout;
+      }
+  in
+  Effect.perform (Engine.Wait desc)
+
+let pause d = Effect.perform (Engine.Pause d)
+let cpu_relax () = pause 1
+let now () = Effect.perform Engine.Now
+let self_id () = fst (Effect.perform Engine.Self)
+let self_cluster () = snd (Effect.perform Engine.Self)

@@ -1,0 +1,8 @@
+(** The simulated implementation of {!Numa_base.Memory_intf.MEMORY}.
+
+    Operations may only be called from within a thread body running under
+    {!Engine.run}; calling them elsewhere raises [Effect.Unhandled].
+    Cell and line {e creation} is pure and may happen anywhere (e.g. when
+    constructing a lock before the run starts). *)
+
+include Numa_base.Memory_intf.MEMORY

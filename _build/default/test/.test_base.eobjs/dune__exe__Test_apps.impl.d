@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Gen Hashtbl Int List Map Numa_base Numa_native Numasim Printf QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Gen Latency List Numa_base Printf Prng QCheck QCheck_alcotest Stats Topology

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Cohort List Numa_base Numasim Printf Topology

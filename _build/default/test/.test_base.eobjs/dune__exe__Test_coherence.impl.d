@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Gen Latency List Numa_base Numasim QCheck QCheck_alcotest

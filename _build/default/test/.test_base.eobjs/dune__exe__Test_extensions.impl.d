@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Atomic Cohort Domain List Numa_base Numa_native Numasim Printf Topology

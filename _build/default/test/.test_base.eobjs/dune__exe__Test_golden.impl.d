@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Cohort Harness List Numa_base Option Printf

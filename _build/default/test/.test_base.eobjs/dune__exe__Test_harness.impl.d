@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Array Cohort Float Harness List Numa_base Numasim Option String Topology

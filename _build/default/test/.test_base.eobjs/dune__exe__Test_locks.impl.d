@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Buffer Cohort List Numa_base Numasim Printf QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Cohort Harness List Numa_base Numasim Printf Prng Topology

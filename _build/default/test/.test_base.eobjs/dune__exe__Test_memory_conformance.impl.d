@@ -1,0 +1,1 @@
+test/test_memory_conformance.ml: Alcotest List Numa_base Numa_native Numasim Printf Sys

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Atomic Cohort Domain List Numa_native

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hashtbl Latency List Numa_base Numasim Option Printf QCheck QCheck_alcotest Topology

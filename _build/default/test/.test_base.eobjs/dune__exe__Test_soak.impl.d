@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Cohort Harness List Numa_base Numasim Prng Topology

@@ -1,0 +1,241 @@
+(* Precise unit tests of the coherence state machine and the interconnect
+   queueing model — these pin down the latencies every experiment is
+   built on. *)
+
+module C = Numasim.Coherence
+module I = Numasim.Interconnect
+open Numa_base
+
+let lat = Latency.t5440
+
+let fresh () = (C.make_line (), C.fresh_stats ())
+
+let access ?(now = 0) ?(epoch = 1) st line ~cluster ~thread kind =
+  C.access st lat line ~now ~epoch ~cluster ~thread kind
+
+(* --- read transitions ----------------------------------------------------- *)
+
+let test_cold_read_hits_memory () =
+  let line, st = fresh () in
+  let l = access st line ~cluster:0 ~thread:0 C.Read in
+  Alcotest.(check int) "memory latency" lat.Latency.mem_access l;
+  Alcotest.(check int) "memory miss counted" 1 st.C.memory_misses;
+  Alcotest.(check int) "no coherence miss" 0 st.C.coherence_misses
+
+let test_repeat_read_same_thread_is_l1 () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Read);
+  let l = access st line ~cluster:0 ~thread:0 C.Read in
+  Alcotest.(check int) "l1 hit" lat.Latency.l1_hit l;
+  Alcotest.(check int) "l1 counted" 1 st.C.l1_hits
+
+let test_read_same_cluster_other_thread_is_local () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Read);
+  let l = access st line ~cluster:0 ~thread:1 C.Read in
+  Alcotest.(check int) "local L2 hit" lat.Latency.local_hit l;
+  Alcotest.(check int) "local counted" 1 st.C.local_hits
+
+let test_read_of_remote_modified_is_transfer () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Write);
+  let l = access st line ~cluster:1 ~thread:9 C.Read in
+  Alcotest.(check int) "remote transfer" lat.Latency.remote_transfer l;
+  Alcotest.(check int) "coherence miss counted" 1 st.C.coherence_misses;
+  Alcotest.(check int) "crossed interconnect" 1 st.C.remote_txns;
+  (* The owner was demoted: both clusters now read locally. *)
+  let l0 = access st line ~cluster:0 ~thread:2 C.Read in
+  let l1 = access st line ~cluster:1 ~thread:3 C.Read in
+  Alcotest.(check int) "old owner still shares" lat.Latency.local_hit l0;
+  Alcotest.(check int) "new reader shares" lat.Latency.local_hit l1
+
+let test_read_from_remote_sharer () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Read);
+  let l = access st line ~cluster:2 ~thread:7 C.Read in
+  Alcotest.(check int) "fetch from sharer" lat.Latency.remote_transfer l;
+  Alcotest.(check int) "coherence miss" 1 st.C.coherence_misses
+
+(* --- write transitions ------------------------------------------------ *)
+
+let test_write_owned_is_cheap () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Write);
+  let l = access st line ~cluster:0 ~thread:0 C.Write in
+  Alcotest.(check int) "l1 write" lat.Latency.l1_hit l;
+  ignore st
+
+let test_write_upgrades_solo_share () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Read);
+  let l = access st line ~cluster:0 ~thread:0 C.Write in
+  Alcotest.(check int) "silent upgrade" lat.Latency.upgrade_local l;
+  Alcotest.(check int) "no invalidation" 0 st.C.invalidations
+
+(* Note: cross-cluster transfers occupy the line ([busy_until]), so these
+   tests space their accesses out in time to observe the bare latencies;
+   test_transfers_queue_on_line covers the queueing itself. *)
+
+let test_write_invalidates_remote_sharers () =
+  let line, st = fresh () in
+  ignore (access st ~now:0 line ~cluster:0 ~thread:0 C.Read);
+  ignore (access st ~now:1_000 line ~cluster:1 ~thread:5 C.Read);
+  let l = access st ~now:2_000 line ~cluster:0 ~thread:0 C.Write in
+  Alcotest.(check int) "invalidation round trip" lat.Latency.remote_transfer l;
+  Alcotest.(check int) "invalidation counted" 1 st.C.invalidations;
+  (* Remote reader must now re-fetch. *)
+  let l1 = access st ~now:3_000 line ~cluster:1 ~thread:5 C.Read in
+  Alcotest.(check int) "re-fetch after invalidate" lat.Latency.remote_transfer
+    l1
+
+let test_write_steals_remote_modified () =
+  let line, st = fresh () in
+  ignore (access st ~now:0 line ~cluster:0 ~thread:0 C.Write);
+  let l = access st ~now:1_000 line ~cluster:3 ~thread:11 C.Write in
+  Alcotest.(check int) "ownership transfer" lat.Latency.remote_transfer l;
+  Alcotest.(check int) "coherence miss" 1 st.C.coherence_misses;
+  (* Old owner's next read misses. *)
+  let l0 = access st ~now:2_000 line ~cluster:0 ~thread:0 C.Read in
+  Alcotest.(check int) "old owner invalidated" lat.Latency.remote_transfer l0
+
+let test_rmw_adds_atomic_cost () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Write);
+  let l = access st line ~cluster:0 ~thread:0 C.Rmw in
+  Alcotest.(check int) "cas = l1 + atomic"
+    (lat.Latency.l1_hit + lat.Latency.atomic_extra)
+    l;
+  ignore st
+
+(* --- line occupancy / epoch -------------------------------------------- *)
+
+let test_transfers_queue_on_line () =
+  let line, st = fresh () in
+  ignore (access st line ~cluster:0 ~thread:0 C.Write);
+  (* Two remote readers at the same instant: the second queues behind the
+     first transfer. *)
+  let l1 = access st ~now:1000 line ~cluster:1 ~thread:1 C.Read in
+  let l2 = access st ~now:1000 line ~cluster:2 ~thread:2 C.Read in
+  Alcotest.(check int) "first pays one transfer" lat.Latency.remote_transfer l1;
+  Alcotest.(check int) "second queues"
+    (2 * lat.Latency.remote_transfer)
+    l2
+
+let test_epoch_resets_state () =
+  let line, st = fresh () in
+  ignore (access st ~epoch:1 line ~cluster:0 ~thread:0 C.Write);
+  (* New run: the line starts cold again. *)
+  let l = access st ~epoch:2 line ~cluster:0 ~thread:0 C.Read in
+  Alcotest.(check int) "cold after epoch change" lat.Latency.mem_access l
+
+let test_access_total_counted () =
+  let line, st = fresh () in
+  for i = 0 to 9 do
+    ignore (access st line ~cluster:(i mod 2) ~thread:i C.Read)
+  done;
+  Alcotest.(check int) "all accesses counted" 10 st.C.accesses
+
+(* --- interconnect ------------------------------------------------------- *)
+
+let test_interconnect_free_channel_no_delay () =
+  let i = I.create lat in
+  Alcotest.(check int) "first txn free" 0 (I.acquire i ~now:100)
+
+let test_interconnect_queues_when_saturated () =
+  let i = I.create lat in
+  let ch = lat.Latency.interconnect_channels in
+  (* Fill every channel at t=0; the next acquisition must wait. *)
+  for _ = 1 to ch do
+    ignore (I.acquire i ~now:0)
+  done;
+  let d = I.acquire i ~now:0 in
+  Alcotest.(check int) "queued behind occupancy"
+    lat.Latency.interconnect_occupancy d
+
+let test_interconnect_drains () =
+  let i = I.create lat in
+  for _ = 1 to 10 do
+    ignore (I.acquire i ~now:0)
+  done;
+  (* Far in the future all channels are free again. *)
+  Alcotest.(check int) "drained" 0 (I.acquire i ~now:1_000_000)
+
+let test_interconnect_reset () =
+  let i = I.create lat in
+  for _ = 1 to 10 do
+    ignore (I.acquire i ~now:0)
+  done;
+  I.reset i;
+  Alcotest.(check int) "reset clears queue" 0 (I.acquire i ~now:0)
+
+let test_interconnect_zero_occupancy () =
+  let i = I.create Latency.uniform in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "uma never queues" 0 (I.acquire i ~now:0)
+  done
+
+(* Properties: latency is always one of the model's constants (plus
+   queueing), and counters never decrease. *)
+let prop_latency_positive =
+  QCheck.Test.make ~name:"access latency positive and counters monotonic"
+    ~count:300
+    QCheck.(
+      list_of_size Gen.(int_range 1 50)
+        (triple (int_range 0 3) (int_range 0 7) (int_range 0 2)))
+    (fun ops ->
+      let line, st = fresh () in
+      let prev = ref 0 in
+      let now = ref 0 in
+      List.for_all
+        (fun (cluster, thread, k) ->
+          let kind = match k with 0 -> C.Read | 1 -> C.Write | _ -> C.Rmw in
+          let l = access st ~now:!now line ~cluster ~thread kind in
+          now := !now + l;
+          let total = st.C.accesses in
+          let ok = l > 0 && total = !prev + 1 in
+          prev := total;
+          ok)
+        ops)
+
+let suite =
+  [
+    ( "read",
+      [
+        Alcotest.test_case "cold read" `Quick test_cold_read_hits_memory;
+        Alcotest.test_case "l1 repeat" `Quick test_repeat_read_same_thread_is_l1;
+        Alcotest.test_case "local sibling" `Quick
+          test_read_same_cluster_other_thread_is_local;
+        Alcotest.test_case "remote modified" `Quick
+          test_read_of_remote_modified_is_transfer;
+        Alcotest.test_case "remote sharer" `Quick test_read_from_remote_sharer;
+      ] );
+    ( "write",
+      [
+        Alcotest.test_case "owned write" `Quick test_write_owned_is_cheap;
+        Alcotest.test_case "solo upgrade" `Quick test_write_upgrades_solo_share;
+        Alcotest.test_case "invalidate sharers" `Quick
+          test_write_invalidates_remote_sharers;
+        Alcotest.test_case "steal modified" `Quick
+          test_write_steals_remote_modified;
+        Alcotest.test_case "rmw extra" `Quick test_rmw_adds_atomic_cost;
+      ] );
+    ( "line",
+      [
+        Alcotest.test_case "transfers queue" `Quick test_transfers_queue_on_line;
+        Alcotest.test_case "epoch reset" `Quick test_epoch_resets_state;
+        Alcotest.test_case "totals" `Quick test_access_total_counted;
+        QCheck_alcotest.to_alcotest prop_latency_positive;
+      ] );
+    ( "interconnect",
+      [
+        Alcotest.test_case "free channel" `Quick
+          test_interconnect_free_channel_no_delay;
+        Alcotest.test_case "saturation queues" `Quick
+          test_interconnect_queues_when_saturated;
+        Alcotest.test_case "drains" `Quick test_interconnect_drains;
+        Alcotest.test_case "reset" `Quick test_interconnect_reset;
+        Alcotest.test_case "uma" `Quick test_interconnect_zero_occupancy;
+      ] );
+  ]
+
+let () = Alcotest.run "coherence" suite

@@ -1,0 +1,379 @@
+(* Tests for the extension features: handoff policies, cohort statistics,
+   the blocking cohort lock (C-BLK-BLK) and the NUMA-aware reader-writer
+   lock (C-RW-WP). *)
+
+open Numa_base
+module E = Numasim.Engine
+module M = Numasim.Sim_mem
+module LI = Cohort.Lock_intf
+
+let topo = Topology.small
+let cfg = { LI.default with LI.clusters = topo.Topology.clusters }
+
+module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M)
+module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (M)
+module Blk = Cohort.Park_lock.Make (M)
+module C_blk_blk = Cohort.Cohort_locks.C_blk_blk (M)
+module Rw = Cohort.Cohort_locks.C_rw_bo_mcs (M)
+
+(* --- handoff policies ------------------------------------------------- *)
+
+(* Run a contended loop and return (cohort stats, migrations). *)
+let run_policy (policy : LI.handoff_policy) =
+  let cfg = { cfg with LI.handoff_policy = policy } in
+  let l = C_tkt_mcs.create cfg in
+  let migs = ref 0 in
+  let last = ref (-1) in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = C_tkt_mcs.register l ~tid ~cluster in
+         for _ = 1 to 50 do
+           C_tkt_mcs.acquire th;
+           if !last <> cluster then begin
+             incr migs;
+             last := cluster
+           end;
+           M.pause 80;
+           C_tkt_mcs.release th;
+           M.pause 120
+         done));
+  (C_tkt_mcs.stats l, !migs)
+
+let test_policy_counted_bounds_batches () =
+  let cfg = { cfg with LI.max_local_handoffs = 4 } in
+  let l = C_tkt_mcs.create cfg in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = C_tkt_mcs.register l ~tid ~cluster in
+         for _ = 1 to 50 do
+           C_tkt_mcs.acquire th;
+           M.pause 80;
+           C_tkt_mcs.release th;
+           M.pause 120
+         done));
+  let st = C_tkt_mcs.stats l in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch_max %d <= bound+1" st.LI.batch_max)
+    true
+    (st.LI.batch_max <= 5)
+
+let test_policy_unbounded_batches_more () =
+  let st_bounded, _ = run_policy LI.Counted in
+  let st_unbounded, _ = run_policy LI.Unbounded in
+  let avg st =
+    float_of_int st.LI.batch_total /. float_of_int (max 1 st.LI.batch_count)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unbounded batches (%.1f) >= bounded (%.1f)"
+       (avg st_unbounded) (avg st_bounded))
+    true
+    (avg st_unbounded >= avg st_bounded)
+
+let test_policy_timed_forces_release () =
+  (* A tiny time budget must cause frequent global releases even though
+     the count bound is huge. *)
+  let st, _ =
+    run_policy (LI.Timed 500)
+    (* 500 ns budget; each CS is ~100+ ns *)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "time budget bounds batches (max %d)" st.LI.batch_max)
+    true
+    (st.LI.batch_max <= 8);
+  Alcotest.(check bool) "many global releases" true (st.LI.global_releases > 10)
+
+let test_policy_counted_or_timed () =
+  let st, _ = run_policy (LI.Counted_or_timed 500) in
+  Alcotest.(check bool) "combined policy bounds batches" true
+    (st.LI.batch_max <= 8)
+
+let test_stats_consistency () =
+  let l = C_bo_mcs.create cfg in
+  let acquires = 8 * 40 in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = C_bo_mcs.register l ~tid ~cluster in
+         for _ = 1 to 40 do
+           C_bo_mcs.acquire th;
+           M.pause 80;
+           C_bo_mcs.release th;
+           M.pause 120
+         done));
+  let st = C_bo_mcs.stats l in
+  Alcotest.(check int) "every release counted" acquires
+    (st.LI.local_handoffs + st.LI.global_releases);
+  Alcotest.(check int) "batches partition the acquisitions" acquires
+    st.LI.batch_total;
+  Alcotest.(check int) "batch_count = global releases" st.LI.global_releases
+    st.LI.batch_count;
+  Alcotest.(check bool) "batch_max sane" true
+    (st.LI.batch_max >= 1 && st.LI.batch_max <= cfg.LI.max_local_handoffs + 1);
+  C_bo_mcs.reset_stats l;
+  let st = C_bo_mcs.stats l in
+  Alcotest.(check int) "reset" 0
+    (st.LI.local_handoffs + st.LI.global_releases + st.LI.batch_total)
+
+(* --- blocking cohort lock ---------------------------------------------- *)
+
+let exercise (module L : LI.LOCK) ~n_threads ~iters =
+  let l = L.create cfg in
+  let in_cs = ref 0 in
+  let violations = ref 0 in
+  let done_ = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads (fun ~tid ~cluster ->
+         let th = L.register l ~tid ~cluster in
+         ignore tid;
+         for _ = 1 to iters do
+           L.acquire th;
+           incr in_cs;
+           if !in_cs <> 1 then incr violations;
+           M.pause 80;
+           if !in_cs <> 1 then incr violations;
+           incr done_;
+           decr in_cs;
+           L.release th;
+           M.pause 120
+         done));
+  (!violations, !done_)
+
+let test_blk_mutual_exclusion () =
+  let v, d = exercise (module Blk.Plain) ~n_threads:8 ~iters:40 in
+  Alcotest.(check int) "BLK: no violations" 0 v;
+  Alcotest.(check int) "BLK: all done" 320 d
+
+let test_c_blk_blk_mutual_exclusion () =
+  let v, d = exercise (module C_blk_blk) ~n_threads:8 ~iters:40 in
+  Alcotest.(check int) "C-BLK-BLK: no violations" 0 v;
+  Alcotest.(check int) "C-BLK-BLK: all done" 320 d
+
+let test_c_blk_blk_batches () =
+  let l = C_blk_blk.create cfg in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = C_blk_blk.register l ~tid ~cluster in
+         for _ = 1 to 50 do
+           C_blk_blk.acquire th;
+           M.pause 80;
+           C_blk_blk.release th;
+           M.pause 120
+         done));
+  let st = C_blk_blk.stats l in
+  let avg =
+    float_of_int st.LI.batch_total /. float_of_int (max 1 st.LI.batch_count)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocking cohort batches locally (avg %.1f)" avg)
+    true (avg > 1.5)
+
+(* --- reader-writer lock ------------------------------------------------ *)
+
+let test_rw_readers_concurrent () =
+  (* All readers must be able to overlap: with 4 readers each holding the
+     read lock across a pause, peak concurrency must exceed 1. *)
+  let l = Rw.create cfg in
+  let active = ref 0 in
+  let peak = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:4 (fun ~tid ~cluster ->
+         let th = Rw.register l ~tid ~cluster in
+         ignore tid;
+         for _ = 1 to 20 do
+           Rw.read_lock th;
+           incr active;
+           if !active > !peak then peak := !active;
+           M.pause 500;
+           decr active;
+           Rw.read_unlock th;
+           M.pause 100
+         done));
+  Alcotest.(check bool)
+    (Printf.sprintf "readers overlapped (peak %d)" !peak)
+    true (!peak >= 2)
+
+let test_rw_writer_excludes_all () =
+  let l = Rw.create cfg in
+  let readers_in = ref 0 in
+  let writers_in = ref 0 in
+  let violations = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = Rw.register l ~tid ~cluster in
+         if tid < 2 then
+           for _ = 1 to 30 do
+             Rw.write_lock th;
+             incr writers_in;
+             if !writers_in <> 1 || !readers_in <> 0 then incr violations;
+             M.pause 200;
+             if !writers_in <> 1 || !readers_in <> 0 then incr violations;
+             decr writers_in;
+             Rw.write_unlock th;
+             M.pause 300
+           done
+         else
+           for _ = 1 to 30 do
+             Rw.read_lock th;
+             incr readers_in;
+             if !writers_in <> 0 then incr violations;
+             M.pause 150;
+             if !writers_in <> 0 then incr violations;
+             decr readers_in;
+             Rw.read_unlock th;
+             M.pause 250
+           done));
+  Alcotest.(check int) "no rw violations" 0 !violations
+
+let test_rw_writer_not_starved () =
+  (* Under a continuous read storm, a writer must still get in (writer
+     preference): measure its acquisition latency. *)
+  let l = Rw.create cfg in
+  let writer_done = ref false in
+  let stop = M.cell' false in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = Rw.register l ~tid ~cluster in
+         if tid = 0 then begin
+           M.pause 2_000;
+           Rw.write_lock th;
+           writer_done := true;
+           Rw.write_unlock th;
+           M.write stop true
+         end
+         else begin
+           let rec storm () =
+             if not (M.read stop) && M.now () < 10_000_000 then begin
+               Rw.read_lock th;
+               M.pause 120;
+               Rw.read_unlock th;
+               storm ()
+             end
+           in
+           storm ()
+         end));
+  Alcotest.(check bool) "writer acquired under read storm" true !writer_done
+
+let test_rw_write_then_read () =
+  let l = Rw.create cfg in
+  let value = ref 0 in
+  let seen = ref (-1) in
+  ignore
+    (E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster ->
+         let th = Rw.register l ~tid ~cluster in
+         if tid = 0 then begin
+           Rw.write_lock th;
+           M.pause 100;
+           value := 42;
+           Rw.write_unlock th
+         end
+         else begin
+           M.pause 5_000;
+           Rw.read_lock th;
+           seen := !value;
+           Rw.read_unlock th
+         end));
+  Alcotest.(check int) "reader sees writer's value" 42 !seen
+
+let test_rw_register_validation () =
+  let l = Rw.create cfg in
+  let raised =
+    try
+      ignore (Rw.register l ~tid:0 ~cluster:99);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad cluster rejected" true raised
+
+(* --- native smoke for the extensions ------------------------------------ *)
+
+module Nm = Numa_native.Nat_mem
+module NRw = Cohort.Cohort_locks.C_rw_bo_mcs (Nm)
+module NBlk = Cohort.Cohort_locks.C_blk_blk (Nm)
+
+let test_native_rw () =
+  let cfg = { LI.default with LI.clusters = 2; max_threads = 4 } in
+  let l = NRw.create cfg in
+  let data = ref 0 in
+  let sum = Atomic.make 0 in
+  let ds =
+    List.init 3 (fun tid ->
+        Domain.spawn (fun () ->
+            Nm.set_identity ~tid ~cluster:(tid mod 2);
+            let th = NRw.register l ~tid ~cluster:(tid mod 2) in
+            if tid = 0 then
+              for _ = 1 to 50 do
+                NRw.write_lock th;
+                data := !data + 1;
+                NRw.write_unlock th
+              done
+            else
+              for _ = 1 to 50 do
+                NRw.read_lock th;
+                ignore (Atomic.fetch_and_add sum !data);
+                NRw.read_unlock th
+              done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all writes landed" 50 !data
+
+let test_native_blk () =
+  let cfg = { LI.default with LI.clusters = 2; max_threads = 4 } in
+  let l = NBlk.create cfg in
+  let counter = ref 0 in
+  let ds =
+    List.init 3 (fun tid ->
+        Domain.spawn (fun () ->
+            Nm.set_identity ~tid ~cluster:(tid mod 2);
+            let th = NBlk.register l ~tid ~cluster:(tid mod 2) in
+            for _ = 1 to 30 do
+              NBlk.acquire th;
+              let v = !counter in
+              Domain.cpu_relax ();
+              counter := v + 1;
+              NBlk.release th
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" 90 !counter
+
+let suite =
+  [
+    ( "handoff_policy",
+      [
+        Alcotest.test_case "counted bounds batches" `Quick
+          test_policy_counted_bounds_batches;
+        Alcotest.test_case "unbounded batches more" `Quick
+          test_policy_unbounded_batches_more;
+        Alcotest.test_case "timed forces release" `Quick
+          test_policy_timed_forces_release;
+        Alcotest.test_case "counted_or_timed" `Quick
+          test_policy_counted_or_timed;
+        Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+      ] );
+    ( "blocking_cohort",
+      [
+        Alcotest.test_case "BLK mutual exclusion" `Quick
+          test_blk_mutual_exclusion;
+        Alcotest.test_case "C-BLK-BLK mutual exclusion" `Quick
+          test_c_blk_blk_mutual_exclusion;
+        Alcotest.test_case "C-BLK-BLK batches" `Quick test_c_blk_blk_batches;
+      ] );
+    ( "rw_cohort",
+      [
+        Alcotest.test_case "readers concurrent" `Quick
+          test_rw_readers_concurrent;
+        Alcotest.test_case "writer excludes" `Quick test_rw_writer_excludes_all;
+        Alcotest.test_case "writer not starved" `Quick
+          test_rw_writer_not_starved;
+        Alcotest.test_case "write visible to read" `Quick
+          test_rw_write_then_read;
+        Alcotest.test_case "register validation" `Quick
+          test_rw_register_validation;
+      ] );
+    ( "native",
+      [
+        Alcotest.test_case "rw on domains" `Slow test_native_rw;
+        Alcotest.test_case "blk on domains" `Slow test_native_blk;
+      ] );
+  ]
+
+let () = Alcotest.run "extensions" suite

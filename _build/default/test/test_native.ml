@@ -1,0 +1,144 @@
+(* Native (real Domain) tests: the same lock algorithms instantiated over
+   Atomic-backed memory. Kept small — this container has a single core, so
+   spinning domains rely on preemption (and Nat_mem's sleep escalation)
+   for progress. *)
+
+module M = Numa_native.Nat_mem
+module LI = Cohort.Lock_intf
+
+module Bo = Cohort.Bo_lock.Make (M)
+module Tkt = Cohort.Ticket_lock.Make (M)
+module Mcs = Cohort.Mcs_lock.Make (M)
+module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M)
+module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (M)
+module C_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (M)
+module Aclh = Cohort.Aclh_lock.Make (M)
+module A_c_bo_clh = Cohort.A_c_bo_clh.Make (M)
+
+let cfg = { LI.default with LI.clusters = 2; max_threads = 8 }
+
+(* n domains each perform [iters] increments of an unprotected counter
+   under the lock; torn updates would lose increments. *)
+let counter_test name (module L : LI.LOCK) ~domains ~iters () =
+  let l = L.create cfg in
+  let counter = ref 0 in
+  let spawn tid =
+    Domain.spawn (fun () ->
+        M.set_identity ~tid ~cluster:(tid mod 2);
+        let th = L.register l ~tid ~cluster:(tid mod 2) in
+        for _ = 1 to iters do
+          L.acquire th;
+          (* Read-modify-write with a window: unsynchronised domains would
+             interleave here and lose updates. *)
+          let v = !counter in
+          if iters < 100 then Domain.cpu_relax ();
+          counter := v + 1;
+          L.release th
+        done)
+  in
+  let ds = List.init domains spawn in
+  List.iter Domain.join ds;
+  Alcotest.(check int) (name ^ ": no lost updates") (domains * iters) !counter
+
+let abortable_counter_test name (module L : LI.ABORTABLE_LOCK) ~domains ~iters
+    () =
+  let l = L.create cfg in
+  let counter = Atomic.make 0 in
+  let successes = Atomic.make 0 in
+  let spawn tid =
+    Domain.spawn (fun () ->
+        M.set_identity ~tid ~cluster:(tid mod 2);
+        let th = L.register l ~tid ~cluster:(tid mod 2) in
+        for _ = 1 to iters do
+          if L.try_acquire th ~patience:50_000_000 then begin
+            Atomic.incr counter;
+            Atomic.incr successes;
+            L.release th
+          end
+        done)
+  in
+  let ds = List.init domains spawn in
+  List.iter Domain.join ds;
+  Alcotest.(check bool)
+    (name ^ ": most attempts succeed")
+    true
+    (Atomic.get successes > domains * iters / 2);
+  Alcotest.(check int)
+    (name ^ ": counter = successes")
+    (Atomic.get successes) (Atomic.get counter)
+
+let single_domain_test name (module L : LI.LOCK) () =
+  M.set_identity ~tid:0 ~cluster:0;
+  let l = L.create cfg in
+  let th = L.register l ~tid:0 ~cluster:0 in
+  for _ = 1 to 1000 do
+    L.acquire th;
+    L.release th
+  done;
+  Alcotest.(check pass) (name ^ ": uncontended cycles") () ()
+
+let all_locks : (string * (module LI.LOCK)) list =
+  [
+    ("BO", (module Bo.Plain));
+    ("TKT", (module Tkt.Plain));
+    ("MCS", (module Mcs.Plain));
+    ("C-BO-MCS", (module C_bo_mcs));
+    ("C-TKT-TKT", (module C_tkt_tkt));
+    ("C-MCS-MCS", (module C_mcs_mcs));
+  ]
+
+let test_memory_primitives () =
+  let c = M.cell' 10 in
+  Alcotest.(check int) "read" 10 (M.read c);
+  M.write c 20;
+  Alcotest.(check int) "write" 20 (M.read c);
+  Alcotest.(check bool) "cas ok" true (M.cas c ~expect:20 ~desire:30);
+  Alcotest.(check bool) "cas stale" false (M.cas c ~expect:20 ~desire:40);
+  Alcotest.(check int) "swap old" 30 (M.swap c 50);
+  Alcotest.(check int) "faa old" 50 (M.fetch_and_add c 5);
+  Alcotest.(check int) "faa new" 55 (M.read c)
+
+let test_wait_until_for_native () =
+  let c = M.cell' 0 in
+  let t0 = M.now () in
+  let r = M.wait_until_for c (fun v -> v = 1) ~timeout:2_000_000 in
+  let dt = M.now () - t0 in
+  Alcotest.(check bool) "timed out" true (r = None);
+  Alcotest.(check bool) "waited roughly the timeout" true (dt >= 2_000_000)
+
+let test_identity () =
+  M.set_identity ~tid:5 ~cluster:3;
+  Alcotest.(check int) "tid" 5 (M.self_id ());
+  Alcotest.(check int) "cluster" 3 (M.self_cluster ())
+
+let suite =
+  [
+    ( "nat_mem",
+      [
+        Alcotest.test_case "primitives" `Quick test_memory_primitives;
+        Alcotest.test_case "wait timeout" `Quick test_wait_until_for_native;
+        Alcotest.test_case "identity" `Quick test_identity;
+      ] );
+    ( "uncontended",
+      List.map
+        (fun (n, l) -> Alcotest.test_case n `Quick (single_domain_test n l))
+        all_locks );
+    ( "contended",
+      List.map
+        (fun (n, l) ->
+          Alcotest.test_case n `Slow (counter_test n l ~domains:3 ~iters:30))
+        all_locks );
+    ( "abortable",
+      [
+        Alcotest.test_case "A-CLH" `Slow
+          (abortable_counter_test "A-CLH"
+             (module Aclh.Abortable)
+             ~domains:3 ~iters:20);
+        Alcotest.test_case "A-C-BO-CLH" `Slow
+          (abortable_counter_test "A-C-BO-CLH"
+             (module A_c_bo_clh)
+             ~domains:3 ~iters:20);
+      ] );
+  ]
+
+let () = Alcotest.run "native" suite

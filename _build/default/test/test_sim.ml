@@ -1,0 +1,446 @@
+(* Tests of the discrete-event engine, coherence model and Sim_mem. *)
+
+open Numa_base
+module E = Numasim.Engine
+module M = Numasim.Sim_mem
+module H = Numasim.Event_heap
+
+let topo = Topology.small
+
+(* --- Event heap ------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = H.create () in
+  List.iter (fun t -> H.add h ~time:t t) [ 5; 1; 9; 3; 3; 0; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match H.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = H.create () in
+  List.iteri (fun i () -> H.add h ~time:42 i) [ (); (); (); () ];
+  let order = List.init 4 (fun _ -> snd (Option.get (H.pop h))) in
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3 ] order
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list small_nat)
+    (fun times ->
+      let h = H.create () in
+      List.iter (fun t -> H.add h ~time:t t) times;
+      let rec drain acc =
+        match H.pop h with None -> List.rev acc | Some (t, _) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let test_heap_peek_clear () =
+  let h = H.create () in
+  Alcotest.(check (option int)) "peek empty" None (H.peek_time h);
+  Alcotest.(check bool) "is_empty" true (H.is_empty h);
+  H.add h ~time:7 ();
+  H.add h ~time:3 ();
+  Alcotest.(check (option int)) "peek min" (Some 3) (H.peek_time h);
+  Alcotest.(check int) "size" 2 (H.size h);
+  H.clear h;
+  Alcotest.(check bool) "cleared" true (H.is_empty h);
+  Alcotest.(check bool) "pop after clear" true (H.pop h = None)
+
+(* --- Engine basics ----------------------------------------------------- *)
+
+let test_single_thread_runs () =
+  let hits = ref 0 in
+  let r =
+    E.run ~topology:topo ~n_threads:1 (fun ~tid ~cluster ->
+        assert (tid = 0);
+        assert (cluster = 0);
+        incr hits;
+        M.pause 100;
+        incr hits)
+  in
+  Alcotest.(check int) "body ran" 2 !hits;
+  Alcotest.(check int) "finished" 1 r.E.threads_finished;
+  Alcotest.(check bool) "time advanced" true (r.E.end_time >= 100)
+
+let test_now_advances () =
+  let samples = ref [] in
+  ignore
+    (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+         samples := M.now () :: !samples;
+         M.pause 500;
+         samples := M.now () :: !samples));
+  match !samples with
+  | [ t1; t0 ] ->
+      Alcotest.(check bool) "pause advances now" true (t1 >= t0 + 500)
+  | _ -> Alcotest.fail "expected two samples"
+
+let test_atomic_counter () =
+  (* n threads each do k CAS-increments: final value must be n*k, and the
+     run must terminate (each CAS loop eventually wins). *)
+  let n = 8 and k = 50 in
+  let c = M.cell' 0 in
+  let final = ref (-1) in
+  ignore
+    (E.run ~topology:topo ~n_threads:n (fun ~tid:_ ~cluster:_ ->
+         for _ = 1 to k do
+           let rec loop () =
+             let v = M.read c in
+             if not (M.cas c ~expect:v ~desire:(v + 1)) then loop ()
+           in
+           loop ()
+         done;
+         final := M.read c));
+  ignore !final;
+  let v =
+    (* read the cell from a fresh one-thread run *)
+    let out = ref 0 in
+    ignore
+      (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+           out := M.read c));
+    !out
+  in
+  Alcotest.(check int) "no lost updates" (n * k) v
+
+let test_fetch_and_add () =
+  let c = M.cell' 0 in
+  let n = 6 and k = 100 in
+  let seen_dup = ref false in
+  let tickets = Hashtbl.create 64 in
+  ignore
+    (E.run ~topology:topo ~n_threads:n (fun ~tid:_ ~cluster:_ ->
+         for _ = 1 to k do
+           let t = M.fetch_and_add c 1 in
+           if Hashtbl.mem tickets t then seen_dup := true
+           else Hashtbl.add tickets t ()
+         done));
+  Alcotest.(check bool) "tickets unique" false !seen_dup;
+  Alcotest.(check int) "all issued" (n * k) (Hashtbl.length tickets)
+
+let test_swap () =
+  let c = M.cell' 7 in
+  ignore
+    (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+         let old = M.swap c 9 in
+         Alcotest.(check int) "swap returns old" 7 old;
+         Alcotest.(check int) "swap installs new" 9 (M.read c)))
+
+let test_wait_until_wakes () =
+  let flag = M.cell' 0 in
+  let woke_at = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           M.pause 1000;
+           M.write flag 1
+         end
+         else begin
+           let v = M.wait_until flag (fun v -> v = 1) in
+           Alcotest.(check int) "woken with value" 1 v;
+           woke_at := M.now ()
+         end));
+  Alcotest.(check bool) "woke after write" true (!woke_at >= 1000)
+
+let test_wait_until_for_timeout () =
+  let flag = M.cell' 0 in
+  let result = ref (Some 99) in
+  ignore
+    (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+         result := M.wait_until_for flag (fun v -> v = 1) ~timeout:2000));
+  Alcotest.(check bool) "timed out" true (!result = None)
+
+let test_wait_until_for_succeeds () =
+  let flag = M.cell' 0 in
+  let result = ref None in
+  ignore
+    (E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           M.pause 500;
+           M.write flag 1
+         end
+         else result := M.wait_until_for flag (fun v -> v = 1) ~timeout:1_000_000));
+  Alcotest.(check bool) "got value" true (!result = Some 1)
+
+let test_deadlock_detected () =
+  let flag = M.cell' 0 in
+  let raised =
+    try
+      ignore
+        (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+             ignore (M.wait_until flag (fun v -> v = 1))));
+      None
+    with E.Deadlock { live; blocked; _ } -> Some (live, blocked)
+  in
+  Alcotest.(check (option (pair int int)))
+    "deadlock raised" (Some (1, 1)) raised
+
+let test_thread_failure_propagates () =
+  let exception Boom in
+  let raised =
+    try
+      ignore
+        (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+             raise Boom));
+      false
+    with E.Thread_failure { tid = 0; exn = Boom; _ } -> true
+  in
+  Alcotest.(check bool) "failure wrapped" true raised
+
+let test_determinism () =
+  let run () =
+    let c = M.cell' 0 in
+    let r =
+      E.run ~topology:topo ~n_threads:6 (fun ~tid:_ ~cluster:_ ->
+          for _ = 1 to 30 do
+            let rec loop () =
+              let v = M.read c in
+              if not (M.cas c ~expect:v ~desire:(v + 1)) then loop ()
+            in
+            loop ();
+            M.pause 17
+          done)
+    in
+    (r.E.end_time, r.E.events, r.E.coherence.Numasim.Coherence.accesses)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_horizon_stops () =
+  let r =
+    E.run ~topology:topo ~n_threads:1 ~horizon:5_000
+      (fun ~tid:_ ~cluster:_ ->
+        let rec loop () =
+          M.pause 1_000;
+          loop ()
+        in
+        loop ())
+  in
+  Alcotest.(check int) "no thread finished" 0 r.E.threads_finished;
+  Alcotest.(check bool) "stopped near horizon" true (r.E.end_time <= 5_000)
+
+(* --- Coherence model --------------------------------------------------- *)
+
+let test_remote_costs_more () =
+  (* Two threads on different clusters ping-pong a line; a single thread
+     hammering its own line pays far less per access. *)
+  let lat = ref 0 and local = ref 0 in
+  let c = M.cell' 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           let t0 = M.now () in
+           for _ = 1 to 100 do
+             M.write c 1
+           done;
+           local := M.now () - t0
+         end
+         else begin
+           M.pause 10_000;
+           (* after thread 0 is done, all lines are remote-owned *)
+           let t0 = M.now () in
+           for _ = 1 to 100 do
+             ignore (M.read c)
+           done;
+           lat := M.now () - t0
+         end));
+  (* thread 1's first read is a remote transfer, rest are cached *)
+  Alcotest.(check bool) "remote read slower than l1 loop" true (!lat > 0);
+  Alcotest.(check bool) "local loop cheap" true (!local < 100 * 20)
+
+let test_coherence_miss_counted () =
+  let c = M.cell' 0 in
+  let r =
+    E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+        if tid = 0 then M.write c 1
+        else begin
+          M.pause 1_000;
+          ignore (M.read c)
+        end)
+  in
+  Alcotest.(check bool)
+    "at least one coherence miss" true
+    (r.E.coherence.Numasim.Coherence.coherence_misses >= 1)
+
+let test_uniform_latency_no_numa_penalty () =
+  (* Under the uniform (UMA) profile remote and local transfers cost the
+     same; sanity-check the parameters plumb through. *)
+  let topo_uma =
+    Topology.make ~name:"uma" ~clusters:2 ~threads_per_cluster:2
+      Latency.uniform
+  in
+  let c = M.cell' 0 in
+  let r =
+    E.run ~topology:topo_uma ~n_threads:2 (fun ~tid ~cluster:_ ->
+        if tid = 0 then M.write c 1 else ignore (M.read c))
+  in
+  Alcotest.(check bool) "ran" true (r.E.threads_finished = 2)
+
+
+(* --- additional engine semantics ----------------------------------------- *)
+
+let test_false_sharing_costs () =
+  (* Two cells on ONE line written by different clusters ping-pong the
+     line; the same traffic on separate lines is cheaper. *)
+  let run shared =
+    let l1 = M.line () in
+    let a, b =
+      if shared then (M.cell l1 0, M.cell l1 0)
+      else (M.cell l1 0, M.cell' 0)
+    in
+    let r =
+      E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+          let c = if tid = 0 then a else b in
+          for _ = 1 to 200 do
+            M.write c 1
+          done)
+    in
+    r.E.coherence.Numasim.Coherence.coherence_misses
+  in
+  let shared_misses = run true in
+  let split_misses = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "false sharing causes misses (%d > %d)" shared_misses
+       split_misses)
+    true
+    (shared_misses > 4 * (split_misses + 1))
+
+let test_wait_timeout_exact_moment () =
+  (* A write landing exactly at the deadline: either outcome is legal,
+     but the engine must neither hang nor deliver both. *)
+  let flag = M.cell' 0 in
+  let outcomes = ref [] in
+  ignore
+    (E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           M.pause 1_000;
+           M.write flag 1
+         end
+         else begin
+           let r = M.wait_until_for flag (fun v -> v = 1) ~timeout:1_000 in
+           outcomes := r :: !outcomes
+         end));
+  Alcotest.(check int) "exactly one outcome" 1 (List.length !outcomes)
+
+let test_multiple_waiters_one_writer () =
+  (* All parked waiters must be woken by a single satisfying write. *)
+  let flag = M.cell' 0 in
+  let woken = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           M.pause 5_000;
+           M.write flag 1
+         end
+         else begin
+           ignore (M.wait_until flag (fun v -> v = 1));
+           incr woken
+         end));
+  Alcotest.(check int) "all seven waiters woken" 7 !woken
+
+let test_waiter_repark_on_stale_value () =
+  (* The flag flips to 1 and instantly back to 0: a waiter whose wake-up
+     read arrives after the flip-back must re-park, not act on the stale
+     value. Thread 1 sits closer (same line traffic), thread 2 remote. *)
+  let flag = M.cell' 0 in
+  let seen = ref (-1) in
+  ignore
+    (E.run ~topology:topo ~n_threads:3 (fun ~tid ~cluster:_ ->
+         if tid = 0 then begin
+           M.pause 2_000;
+           M.write flag 1;
+           M.write flag 0;
+           M.pause 20_000;
+           M.write flag 1
+         end
+         else if tid = 1 then begin
+           let v = M.wait_until flag (fun v -> v = 1) in
+           (* Whenever we wake, the value we see must satisfy the pred. *)
+           if v <> 1 then seen := v
+         end
+         else begin
+           let v = M.wait_until flag (fun v -> v = 1) in
+           if v <> 1 then seen := v
+         end));
+  Alcotest.(check int) "no stale delivery" (-1) !seen
+
+let test_pause_zero_and_negative () =
+  ignore
+    (E.run ~topology:topo ~n_threads:1 (fun ~tid:_ ~cluster:_ ->
+         M.pause 0;
+         M.pause (-5);
+         M.pause 1));
+  Alcotest.(check pass) "no crash" () ()
+
+let test_engine_rejects_bad_thread_counts () =
+  let reject n =
+    try
+      ignore (E.run ~topology:topo ~n_threads:n (fun ~tid:_ ~cluster:_ -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero threads" true (reject 0);
+  Alcotest.(check bool) "too many threads" true
+    (reject (Numa_base.Topology.total_threads topo + 1))
+
+let test_events_counted () =
+  let r =
+    E.run ~topology:topo ~n_threads:2 (fun ~tid:_ ~cluster:_ ->
+        for _ = 1 to 10 do
+          M.pause 10
+        done)
+  in
+  Alcotest.(check bool) "events recorded" true (r.E.events >= 20)
+
+let suite =
+  [
+    ( "event_heap",
+      [
+        Alcotest.test_case "pops sorted" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "peek and clear" `Quick test_heap_peek_clear;
+        QCheck_alcotest.to_alcotest prop_heap_sorted;
+      ] );
+    ( "engine",
+      [
+        Alcotest.test_case "single thread" `Quick test_single_thread_runs;
+        Alcotest.test_case "now advances" `Quick test_now_advances;
+        Alcotest.test_case "atomic counter" `Quick test_atomic_counter;
+        Alcotest.test_case "fetch_and_add" `Quick test_fetch_and_add;
+        Alcotest.test_case "swap" `Quick test_swap;
+        Alcotest.test_case "wait_until wakes" `Quick test_wait_until_wakes;
+        Alcotest.test_case "wait timeout" `Quick test_wait_until_for_timeout;
+        Alcotest.test_case "wait succeeds" `Quick test_wait_until_for_succeeds;
+        Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+        Alcotest.test_case "thread failure" `Quick test_thread_failure_propagates;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "horizon" `Quick test_horizon_stops;
+      ] );
+    ( "engine_edge",
+      [
+        Alcotest.test_case "false sharing" `Quick test_false_sharing_costs;
+        Alcotest.test_case "timeout at write instant" `Quick
+          test_wait_timeout_exact_moment;
+        Alcotest.test_case "broadcast wake" `Quick
+          test_multiple_waiters_one_writer;
+        Alcotest.test_case "re-park on stale" `Quick
+          test_waiter_repark_on_stale_value;
+        Alcotest.test_case "pause edge values" `Quick
+          test_pause_zero_and_negative;
+        Alcotest.test_case "thread count validation" `Quick
+          test_engine_rejects_bad_thread_counts;
+        Alcotest.test_case "events counted" `Quick test_events_counted;
+      ] );
+    ( "coherence",
+      [
+        Alcotest.test_case "remote costs more" `Quick test_remote_costs_more;
+        Alcotest.test_case "miss counted" `Quick test_coherence_miss_counted;
+        Alcotest.test_case "uma profile" `Quick test_uniform_latency_no_numa_penalty;
+      ] );
+  ]
+
+let () = Alcotest.run "numasim" suite

@@ -1,0 +1,91 @@
+(* End-to-end soak: paper-scale topology (4 clusters x 64 threads), every
+   lock, mutual exclusion asserted across tens of thousands of simulated
+   acquisitions. Slower than the unit suites but still seconds. *)
+
+open Numa_base
+module E = Numasim.Engine
+module M = Numasim.Sim_mem
+module LI = Cohort.Lock_intf
+module R = Harness.Lock_registry
+
+let topo = Topology.t5440
+
+let cfg =
+  {
+    LI.default with
+    LI.clusters = topo.Topology.clusters;
+    max_threads = Topology.total_threads topo;
+  }
+
+let soak_test (e : R.entry) () =
+  let module L = (val e.R.lock : LI.LOCK) in
+  let l = L.create (e.R.tweak cfg) in
+  let n_threads = 64 in
+  let iters = 60 in
+  let in_cs = ref 0 in
+  let violations = ref 0 in
+  let total = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads (fun ~tid ~cluster ->
+         let rng = Prng.create (tid * 31 + 5) in
+         let th = L.register l ~tid ~cluster in
+         for _ = 1 to iters do
+           L.acquire th;
+           incr in_cs;
+           if !in_cs <> 1 then incr violations;
+           M.pause (50 + Prng.int rng 200);
+           if !in_cs <> 1 then incr violations;
+           incr total;
+           decr in_cs;
+           L.release th;
+           M.pause (Prng.int rng 2_000)
+         done));
+  Alcotest.(check int) (e.R.name ^ ": no violations at scale") 0 !violations;
+  Alcotest.(check int) (e.R.name ^ ": full progress") (n_threads * iters) !total
+
+let abortable_soak_test (e : R.abortable_entry) () =
+  let module L = (val e.R.a_lock : LI.ABORTABLE_LOCK) in
+  let l = L.create (e.R.a_tweak cfg) in
+  let n_threads = 64 in
+  let in_cs = ref 0 in
+  let violations = ref 0 in
+  let successes = ref 0 in
+  let stranded = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads (fun ~tid ~cluster ->
+         let rng = Prng.create (tid * 37 + 11) in
+         let th = L.register l ~tid ~cluster in
+         for _ = 1 to 50 do
+           (* Mixed patience: some acquisitions certain to abort. *)
+           let patience = 100 + Prng.int rng 40_000 in
+           if L.try_acquire th ~patience then begin
+             incr in_cs;
+             if !in_cs <> 1 then incr violations;
+             M.pause (50 + Prng.int rng 400);
+             if !in_cs <> 1 then incr violations;
+             incr successes;
+             decr in_cs;
+             L.release th
+           end;
+           M.pause (Prng.int rng 1_500)
+         done;
+         if L.try_acquire th ~patience:2_000_000_000 then L.release th
+         else incr stranded));
+  Alcotest.(check int) (e.R.a_name ^ ": no violations") 0 !violations;
+  Alcotest.(check int) (e.R.a_name ^ ": nobody stranded") 0 !stranded;
+  Alcotest.(check bool) (e.R.a_name ^ ": progress") true (!successes > 500)
+
+let suite =
+  [
+    ( "soak_64_threads",
+      List.map
+        (fun (e : R.entry) -> Alcotest.test_case e.R.name `Slow (soak_test e))
+        R.all_locks );
+    ( "soak_abortable",
+      List.map
+        (fun (e : R.abortable_entry) ->
+          Alcotest.test_case e.R.a_name `Slow (abortable_soak_test e))
+        R.abortable_locks );
+  ]
+
+let () = Alcotest.run "soak" suite
