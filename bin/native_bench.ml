@@ -1,74 +1,126 @@
 (* Contended throughput of the NATIVE (Atomic-backed) locks on real
-   domains.
+   domains, measured by the same substrate-generic benchmark core (and
+   the same lock registry) as the simulated LBench.
 
-     dune exec bin/native_bench.exe -- [domains] [millis]
+     dune exec bin/native_bench.exe -- [-d DOMAINS] [-c CLUSTERS]
+                                       [-t MILLIS] [-l LOCK]... [--abortable]
 
    Complements bench/main.exe's Bechamel section (uncontended cost) with
-   a contended measurement. Caveat for interpreting numbers: when domains
+   a contended measurement reporting the full LBench metric set
+   (throughput, fairness stddev, acquire p50/p99, migrations from the
+   declared clusters). Caveat for interpreting numbers: when domains
    outnumber cores — certainly in this container — spin locks progress
    through pre-emption and Nat_mem's sleep escalation, so this measures
    lock overhead under oversubscription, not NUMA behaviour; use the
-   simulator for the paper's experiments. *)
+   simulator for the paper's experiments. Coherence misses per CS exist
+   only in the simulator and are reported as "-" here. *)
 
-module Nm = Numa_native.Nat_mem
+open Cmdliner
 module LI = Cohort.Lock_intf
+module LR = Harness.Lock_registry
+module Registry = Harness.Native.Registry
+module Bench = Harness.Native.Bench
+module Rep = Harness.Report
 
-module Bo = Cohort.Bo_lock.Make (Nm)
-module Tkt = Cohort.Ticket_lock.Make (Nm)
-module Mcs = Cohort.Mcs_lock.Make (Nm)
-module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (Nm)
-module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (Nm)
-module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (Nm)
-module C_blk_blk = Cohort.Cohort_locks.C_blk_blk (Nm)
-module Pthread = Baselines.Pthread_like.Make (Nm)
+let header () =
+  Printf.printf "  %-14s %12s %9s %10s %10s %9s %8s\n" "lock" "acquires/s"
+    "fair.%" "p50 ns" "p99 ns" "migr." "abort%"
 
-let locks : (string * (module LI.LOCK)) list =
-  [
-    ("BO", (module Bo.Plain));
-    ("TKT", (module Tkt.Plain));
-    ("MCS", (module Mcs.Plain));
-    ("pthread-like", (module Pthread));
-    ("C-BO-MCS", (module C_bo_mcs));
-    ("C-TKT-TKT", (module C_tkt_tkt));
-    ("C-TKT-MCS", (module C_tkt_mcs));
-    ("C-BLK-BLK", (module C_blk_blk));
-  ]
+let row (r : Harness.Bench_core.result) =
+  Printf.printf "  %-14s %12s %9s %10s %10s %9d %8s\n%!" r.lock_name
+    (Rep.fmt_si r.throughput)
+    (Rep.fmt_fixed1 r.fairness_stddev_pct)
+    (Rep.fmt_si r.acquire_p50) (Rep.fmt_si r.acquire_p99) r.migrations
+    (if r.aborts = 0 && r.abort_rate = 0. then "-"
+     else Rep.fmt_fixed2 (100. *. r.abort_rate))
 
-let bench ~domains ~millis (name, (module L : LI.LOCK)) =
-  let cfg = { LI.default with LI.clusters = 2; max_threads = domains } in
-  let l = L.create cfg in
-  let stop = Atomic.make false in
-  let counts = Array.make domains 0 in
-  let ds =
-    List.init domains (fun tid ->
-        Domain.spawn (fun () ->
-            let cluster = tid mod 2 in
-            Nm.set_identity ~tid ~cluster;
-            let th = L.register l ~tid ~cluster in
-            let n = ref 0 in
-            while not (Atomic.get stop) do
-              L.acquire th;
-              incr n;
-              L.release th
-            done;
-            counts.(tid) <- !n))
+let run_bench domains clusters millis filters abortable patience seed =
+  let tpc = (domains + clusters - 1) / clusters in
+  let topology =
+    Numa_base.Topology.make ~name:"native" ~clusters
+      ~threads_per_cluster:(max 1 tpc) Numa_base.Latency.t5440
   in
-  Unix.sleepf (float_of_int millis /. 1000.);
-  Atomic.set stop true;
-  List.iter Domain.join ds;
-  let total = Array.fold_left ( + ) 0 counts in
-  Printf.printf "  %-14s %10.0f acquires/s\n%!" name
-    (float_of_int total /. (float_of_int millis /. 1000.))
-
-let () =
-  let domains =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 3
+  let cfg = { LI.default with LI.clusters; max_threads = domains } in
+  let duration = millis * 1_000_000 in
+  let wanted name =
+    filters = [] || List.exists (fun f -> String.lowercase_ascii f = String.lowercase_ascii name) filters
   in
-  let millis =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 250
+  let entries = List.filter (fun e -> wanted e.LR.name) Registry.all_locks in
+  let aentries =
+    if abortable then
+      List.filter (fun e -> wanted e.LR.a_name) Registry.abortable_locks
+    else []
   in
+  if entries = [] && aentries = [] then begin
+    Printf.eprintf "no lock matches the filter; known locks:\n  %s\n  %s\n"
+      (String.concat ", " (List.map (fun e -> e.LR.name) Registry.all_locks))
+      (String.concat ", "
+         (List.map (fun e -> e.LR.a_name) Registry.abortable_locks));
+    exit 2
+  end;
   Printf.printf
-    "native contended lock throughput: %d domains, %d ms window (1-core \
-     container: measures oversubscribed overhead, not NUMA)\n"
-    domains millis;
-  List.iter (bench ~domains ~millis) locks
+    "native contended LBench: %d domains over %d clusters (round-robin), %d \
+     ms window, seed %d\n\
+     (1-core container: measures oversubscribed overhead, not NUMA)\n"
+    domains clusters millis seed;
+  header ();
+  List.iter
+    (fun (e : LR.entry) ->
+      row
+        (Bench.run ~name:e.LR.name e.LR.lock ~topology ~cfg:(e.LR.tweak cfg)
+           ~n_threads:domains ~duration ~seed))
+    entries;
+  List.iter
+    (fun (e : LR.abortable_entry) ->
+      row
+        (Bench.run_abortable ~name:e.LR.a_name e.LR.a_lock ~topology
+           ~cfg:(e.LR.a_tweak cfg) ~n_threads:domains ~duration ~seed
+           ~patience))
+    aentries
+
+let domains =
+  let doc = "Number of domains (threads) to contend on the lock." in
+  Arg.(value & opt int 4 & info [ "d"; "domains" ] ~docv:"N" ~doc)
+
+let clusters =
+  let doc =
+    "Number of NUMA clusters declared in the topology; domains are placed \
+     round-robin across them."
+  in
+  Arg.(value & opt int 2 & info [ "c"; "clusters" ] ~docv:"N" ~doc)
+
+let millis =
+  let doc = "Measurement window in milliseconds (per lock)." in
+  Arg.(value & opt int 100 & info [ "t"; "millis" ] ~docv:"MS" ~doc)
+
+let locks =
+  let doc =
+    "Benchmark only this lock (repeatable, case-insensitive); default: the \
+     whole registry line-up."
+  in
+  Arg.(value & opt_all string [] & info [ "l"; "lock" ] ~docv:"NAME" ~doc)
+
+let abortable =
+  let doc = "Also run the abortable line-up (with $(b,--patience))." in
+  Arg.(value & flag & info [ "abortable" ] ~doc)
+
+let patience =
+  let doc = "Patience for abortable acquires, ns." in
+  Arg.(value & opt int 1_000_000 & info [ "patience" ] ~docv:"NS" ~doc)
+
+let seed =
+  let doc = "Seed for the non-critical-section delay PRNG." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc =
+    "contended native lock throughput over the shared registry and benchmark \
+     core"
+  in
+  Cmd.v
+    (Cmd.info "native_bench" ~doc)
+    Term.(
+      const run_bench $ domains $ clusters $ millis $ locks $ abortable
+      $ patience $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -3,169 +3,44 @@
    policy, patience) at every lock in the registry and verifies mutual
    exclusion, full progress, and post-abort lock health on each.
 
-     dune exec bin/torture.exe -- [rounds] [seed]
+     dune exec bin/torture.exe -- [rounds] [seed] [--native]
 
-   Exits non-zero on the first violation, printing the reproducing
-   configuration (every run is deterministic given its parameters). *)
+   The campaign itself is substrate-generic (Harness.Torture_core); by
+   default it drives simulated fibers, where every run is deterministic
+   given its parameters and a failure prints an exactly reproducing
+   configuration. With --native the same campaign drives real domains
+   (default rounds drop to 10: domains are heavily oversubscribed on this
+   container, and native failures are probabilistic rather than
+   replayable). Exits non-zero on the first violation. *)
 
-module E = Numasim.Engine
-module M = Numasim.Sim_mem
-module LI = Cohort.Lock_intf
-module R = Harness.Lock_registry
-open Numa_base
-
-type tcase = {
-  c_lock : string;
-  c_threads : int;
-  c_cs : int;
-  c_ncs : int;
-  c_policy : LI.handoff_policy;
-  c_seed : int;
-  c_clusters : int;
-}
-
-let policies =
-  [| LI.Counted; LI.Timed 2_000; LI.Counted_or_timed 5_000; LI.Unbounded |]
-
-let gen_case rng locks =
-  let n_locks = List.length locks in
-  {
-    c_lock = (List.nth locks (Prng.int rng n_locks) : R.entry).R.name;
-    c_threads = 2 + Prng.int rng 15;
-    c_cs = 1 + Prng.int rng 500;
-    c_ncs = 1 + Prng.int rng 1_000;
-    c_policy = policies.(Prng.int rng (Array.length policies));
-    c_seed = Prng.int rng 1_000_000;
-    c_clusters = 2 + Prng.int rng 3;
-  }
-
-let pp_policy = function
-  | LI.Counted -> "counted"
-  | LI.Timed n -> Printf.sprintf "timed:%d" n
-  | LI.Counted_or_timed n -> Printf.sprintf "count|time:%d" n
-  | LI.Unbounded -> "unbounded"
-
-let pp_case c =
-  Printf.sprintf
-    "lock=%s threads=%d clusters=%d cs=%dns ncs=%dns policy=%s seed=%d"
-    c.c_lock c.c_threads c.c_clusters c.c_cs c.c_ncs (pp_policy c.c_policy)
-    c.c_seed
-
-let run_case c =
-  let e = Option.get (R.find c.c_lock) in
-  let module L = (val e.R.lock : LI.LOCK) in
-  let topology =
-    Topology.make ~name:"torture" ~clusters:c.c_clusters ~threads_per_cluster:8
-      Latency.t5440
-  in
-  let cfg =
-    e.R.tweak
-      {
-        LI.default with
-        LI.clusters = c.c_clusters;
-        max_threads = Topology.total_threads topology;
-        handoff_policy = c.c_policy;
-      }
-  in
-  let l = L.create cfg in
-  let iters = 20 in
-  let in_cs = ref 0 in
-  let violations = ref 0 in
-  let total = ref 0 in
-  ignore
-    (E.run ~topology ~n_threads:c.c_threads (fun ~tid ~cluster ->
-         let rng = Prng.create (c.c_seed + tid) in
-         let th = L.register l ~tid ~cluster in
-         for _ = 1 to iters do
-           L.acquire th;
-           incr in_cs;
-           if !in_cs <> 1 then incr violations;
-           M.pause (1 + Prng.int rng c.c_cs);
-           if !in_cs <> 1 then incr violations;
-           incr total;
-           decr in_cs;
-           L.release th;
-           M.pause (1 + Prng.int rng c.c_ncs)
-         done));
-  if !violations > 0 then Error (Printf.sprintf "%d ME violations" !violations)
-  else if !total <> c.c_threads * iters then
-    Error (Printf.sprintf "progress: %d of %d" !total (c.c_threads * iters))
-  else Ok ()
-
-let run_abortable_case c =
-  let locks = R.abortable_locks in
-  let e = List.nth locks (c.c_seed mod List.length locks) in
-  let module L = (val e.R.a_lock : LI.ABORTABLE_LOCK) in
-  let topology =
-    Topology.make ~name:"torture" ~clusters:c.c_clusters ~threads_per_cluster:8
-      Latency.t5440
-  in
-  let cfg =
-    e.R.a_tweak
-      {
-        LI.default with
-        LI.clusters = c.c_clusters;
-        max_threads = Topology.total_threads topology;
-      }
-  in
-  let l = L.create cfg in
-  let in_cs = ref 0 in
-  let violations = ref 0 in
-  let stuck = ref 0 in
-  ignore
-    (E.run ~topology ~n_threads:c.c_threads (fun ~tid ~cluster ->
-         let rng = Prng.create (c.c_seed + tid) in
-         let th = L.register l ~tid ~cluster in
-         for _ = 1 to 20 do
-           if L.try_acquire th ~patience:(50 + Prng.int rng 2_000) then begin
-             incr in_cs;
-             if !in_cs <> 1 then incr violations;
-             M.pause (1 + Prng.int rng c.c_cs);
-             if !in_cs <> 1 then incr violations;
-             decr in_cs;
-             L.release th
-           end;
-           M.pause (1 + Prng.int rng c.c_ncs)
-         done;
-         (* lock must still be healthy after the abort storm *)
-         if L.try_acquire th ~patience:2_000_000_000 then L.release th
-         else incr stuck));
-  if !violations > 0 then
-    Error (Printf.sprintf "%s: %d ME violations" e.R.a_name !violations)
-  else if !stuck > 0 then
-    Error (Printf.sprintf "%s: %d threads stranded" e.R.a_name !stuck)
-  else Ok ()
+module Sim_torture =
+  Harness.Torture_core.Make (Numasim.Sim_mem) (Numasim.Sim_runtime)
 
 let () =
+  let native = Array.exists (fun a -> a = "--native") Sys.argv in
+  let positional =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
+  in
   let rounds =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+    match positional with
+    | r :: _ -> int_of_string r
+    | [] -> if native then 10 else 200
   in
-  let seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
+  let seed = match positional with _ :: s :: _ -> int_of_string s | _ -> 1 in
+  let log msg = Printf.printf "%s\n%!" msg in
+  let failures =
+    if native then Harness.Native.Torture.campaign ~log ~rounds ~seed
+    else Sim_torture.campaign ~log ~rounds ~seed
   in
-  let rng = Prng.create seed in
-  let failures = ref 0 in
-  for round = 1 to rounds do
-    let c = gen_case rng R.all_locks in
-    (match run_case c with
-    | Ok () -> ()
-    | Error msg ->
-        incr failures;
-        Printf.printf "FAIL (round %d): %s\n  %s\n%!" round msg (pp_case c));
-    let ca = gen_case rng R.all_locks in
-    match run_abortable_case ca with
-    | Ok () -> ()
-    | Error msg ->
-        incr failures;
-        Printf.printf "FAIL abortable (round %d): %s\n  %s\n%!" round msg
-          (pp_case ca)
-  done;
-  if !failures = 0 then begin
+  let substrate = if native then "native domains" else "sim" in
+  if failures = 0 then begin
     Printf.printf
-      "torture: %d rounds x (every lock pool + abortable) — all clean\n" rounds;
+      "torture (%s): %d rounds x (every lock pool + abortable) — all clean\n"
+      substrate rounds;
     exit 0
   end
   else begin
-    Printf.printf "torture: %d failures\n" !failures;
+    Printf.printf "torture (%s): %d failures\n" substrate failures;
     exit 1
   end

@@ -1,0 +1,78 @@
+(** The abstract execution substrate that the experiment harness is
+    written against — the runtime-side counterpart of {!Memory_intf}.
+
+    A {!RUNTIME} knows how to start [n] threads placed on clusters by a
+    {!Topology}, give them a shared stop flag and barriers, and report
+    aggregate statistics when every thread has finished. There are two
+    implementations:
+    - {!Numasim.Sim_runtime}: wraps [Engine.run]; threads are effect
+      fibers, runs are deterministic, and the coherence statistics of the
+      simulation are reported;
+    - {!Numa_native.Nat_runtime}: threads are [Domain]s with their
+      declared cluster registered in [Nat_mem]; timing is wall-clock.
+
+    Writing harness components (benchmark cores, stress campaigns,
+    conformance checks) once over [MEMORY] x [RUNTIME] guarantees the
+    measured harness and the shipped harness are the same code, exactly
+    as the locks themselves are written once over [MEMORY]. *)
+
+type run_stats = {
+  elapsed_ns : int;
+      (** simulated end time, or wall-clock ns from first spawn to last
+          join. *)
+  threads_finished : int;
+  coherence_misses : int option;  (** simulation substrate only. *)
+  remote_txns : int option;  (** simulation substrate only. *)
+  sim_events : int option;  (** simulation substrate only. *)
+}
+
+exception Thread_failure of { tid : int; exn : exn; backtrace : string }
+(** An exception escaped a thread body; the run is aborted. Both
+    runtimes translate their internal failure reports into this one
+    exception so substrate-generic callers can match on it. *)
+
+module type RUNTIME = sig
+  val name : string
+
+  val deterministic : bool
+  (** [true] when a run is a pure function of its inputs (the
+      simulator); [false] under real parallelism. *)
+
+  type stop_flag
+  (** A cooperative shutdown signal visible to every thread of a run.
+      Under the simulator the deadline given to {!run} is part of the
+      flag, so polling it is the deterministic analogue of checking the
+      clock. *)
+
+  val request_stop : stop_flag -> unit
+  val stopped : stop_flag -> bool
+
+  type barrier
+
+  val make_barrier : n:int -> barrier
+  (** A reusable-once rendezvous for [n] threads. Creation is pure (may
+      happen before the run starts). *)
+
+  val await : barrier -> unit
+  (** Blocks until [n] threads have arrived. *)
+
+  val now : unit -> int
+  (** Monotonic nanoseconds. Inside a run only for the simulated
+      runtime; any time for the native one. *)
+
+  val run :
+    topology:Topology.t ->
+    n_threads:int ->
+    ?stop_after:int ->
+    (stop:stop_flag -> tid:int -> cluster:int -> unit) ->
+    run_stats
+  (** [run ~topology ~n_threads body] starts [n_threads] threads; thread
+      [tid] runs [body ~stop ~tid ~cluster] on the cluster given by the
+      topology's placement, and the call returns when every thread has.
+      [stop_after] arms the stop flag [stop_after] ns into the run;
+      bodies poll [stopped] and wind down cooperatively.
+
+      @raise Invalid_argument if [n_threads] < 1 or exceeds the topology
+        capacity.
+      @raise Thread_failure if an exception escapes a thread body. *)
+end

@@ -1,0 +1,151 @@
+open Numa_base
+module LI = Cohort.Lock_intf
+
+type result = {
+  lock_name : string;
+  n_threads : int;
+  duration_ns : int;
+  iterations : int;
+  throughput : float;
+  per_thread : int array;
+  fairness_stddev_pct : float;
+  migrations : int;
+  misses_per_cs : float;
+  aborts : int;
+  abort_rate : float;
+  acquire_p50 : float;
+  acquire_p99 : float;
+  acquire_max : float;
+}
+
+module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
+  (* The shared critical-section data: four counters on each of two cache
+     lines (paper, Figure 2 caption). *)
+  type cs_data = { line_a : int M.cell array; line_b : int M.cell array }
+
+  let make_cs_data () =
+    let mk name =
+      let ln = M.line ~name () in
+      Array.init 4 (fun _ -> M.cell ln 0)
+    in
+    { line_a = mk "lbench.a"; line_b = mk "lbench.b" }
+
+  let run_cs data =
+    let bump c = M.write c (M.read c + 1) in
+    Array.iter bump data.line_a;
+    Array.iter bump data.line_b
+
+  let summarise ~lock_name ~n_threads ~duration ~counts ~migrations ~aborts
+      ~latencies ~(stats : Runtime_intf.run_stats) =
+    let iterations = Array.fold_left ( + ) 0 counts in
+    let spread = Stats.of_array (Array.map float_of_int counts) in
+    let attempts = iterations + aborts in
+    let pct q = float_of_int (Stats.Histogram.quantile latencies q) in
+    {
+      lock_name;
+      n_threads;
+      duration_ns = duration;
+      iterations;
+      throughput = float_of_int iterations /. (float_of_int duration *. 1e-9);
+      per_thread = counts;
+      fairness_stddev_pct = Stats.stddev_pct spread;
+      migrations;
+      misses_per_cs =
+        (match stats.Runtime_intf.coherence_misses with
+        | None -> Float.nan
+        | Some misses ->
+            if iterations = 0 then 0.
+            else float_of_int misses /. float_of_int iterations);
+      aborts;
+      abort_rate =
+        (if attempts = 0 then 0.
+         else float_of_int aborts /. float_of_int attempts);
+      acquire_p50 = pct 0.5;
+      acquire_p99 = pct 0.99;
+      acquire_max = float_of_int (Stats.Histogram.max_seen latencies);
+    }
+
+  (* Body shared by the two entry points; instrumentation state is either
+     per-thread (counts, aborts, latency histograms, merged after the
+     join) or mutated only inside the critical section (migrations), so
+     it is race-free under native domains and does not perturb the
+     simulation. *)
+  let run_generic ~lock_name ~register_and_loop ~topology ~n_threads ~duration
+      ~seed =
+    let counts = Array.make n_threads 0 in
+    let aborts = Array.make n_threads 0 in
+    let migrations = ref 0 in
+    let last_cluster = ref (-1) in
+    let latencies = Array.init n_threads (fun _ -> Stats.Histogram.create ()) in
+    let data = make_cs_data () in
+    let stats =
+      RT.run ~topology ~n_threads ~stop_after:duration
+        (fun ~stop ~tid ~cluster ->
+          let rng = Prng.create (seed + (tid * 7919) + 13) in
+          register_and_loop ~stop ~tid ~cluster ~rng ~data ~counts ~aborts
+            ~migrations ~last_cluster ~latencies:latencies.(tid))
+    in
+    let merged =
+      Array.fold_left Stats.Histogram.merge (Stats.Histogram.create ())
+        latencies
+    in
+    summarise ~lock_name ~n_threads ~duration ~counts ~migrations:!migrations
+      ~aborts:(Array.fold_left ( + ) 0 aborts)
+      ~latencies:merged ~stats
+
+  let non_cs_delay rng = Prng.int rng 4_000 (* idle spin of up to 4 us *)
+
+  let run ?name (module L : LI.LOCK) ~topology ~cfg ~n_threads ~duration ~seed
+      =
+    let l = L.create cfg in
+    run_generic ~lock_name:(Option.value name ~default:L.name)
+      ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts:_
+                              ~migrations ~last_cluster ~latencies ->
+        let th = L.register l ~tid ~cluster in
+        let rec loop () =
+          if not (RT.stopped stop) then begin
+            let t0 = M.now () in
+            L.acquire th;
+            Stats.Histogram.add latencies (M.now () - t0);
+            if !last_cluster <> cluster then begin
+              incr migrations;
+              last_cluster := cluster
+            end;
+            run_cs data;
+            counts.(tid) <- counts.(tid) + 1;
+            L.release th;
+            M.pause (non_cs_delay rng);
+            loop ()
+          end
+        in
+        loop ())
+      ~topology ~n_threads ~duration ~seed
+
+  let run_abortable ?name (module L : LI.ABORTABLE_LOCK) ~topology ~cfg
+      ~n_threads ~duration ~seed ~patience =
+    let l = L.create cfg in
+    run_generic ~lock_name:(Option.value name ~default:L.name)
+      ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts
+                              ~migrations ~last_cluster ~latencies ->
+        let th = L.register l ~tid ~cluster in
+        let rec loop () =
+          if not (RT.stopped stop) then begin
+            let t0 = M.now () in
+            if L.try_acquire th ~patience then begin
+              Stats.Histogram.add latencies (M.now () - t0);
+              if !last_cluster <> cluster then begin
+                incr migrations;
+                last_cluster := cluster
+              end;
+              run_cs data;
+              counts.(tid) <- counts.(tid) + 1;
+              L.release th
+            end
+            else aborts.(tid) <- aborts.(tid) + 1;
+            M.pause (non_cs_delay rng);
+            loop ()
+          end
+        in
+        loop ())
+      ~topology ~n_threads ~duration ~seed
+end

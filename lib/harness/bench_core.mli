@@ -1,0 +1,64 @@
+(** The substrate-generic core of LBench, the paper's microbenchmark
+    (section 4.1).
+
+    Each thread loops: acquire the central lock; execute a critical
+    section that increments four integer counters on each of two distinct
+    cache lines; release; then idle for a non-critical section of up to
+    4 µs. The same functor body measures the simulated substrate
+    (deterministic, with coherence statistics) and the native one (real
+    domains, wall-clock). {!Lbench} is its simulation instance and the
+    historical entry point; {!Native.Bench} is the native instance. *)
+
+type result = {
+  lock_name : string;
+  n_threads : int;
+  duration_ns : int;  (** measurement window (simulated or wall ns). *)
+  iterations : int;  (** critical/non-critical section pairs completed. *)
+  throughput : float;  (** iterations per second of the window. *)
+  per_thread : int array;
+  fairness_stddev_pct : float;
+      (** stddev of per-thread throughput as % of mean (Figure 5). *)
+  migrations : int;
+      (** acquisitions whose (declared) cluster differs from the previous
+          holder's. *)
+  misses_per_cs : float;
+      (** L2 coherence misses per CS (Figure 3); [nan] under the native
+          runtime, which has no coherence instrumentation. *)
+  aborts : int;  (** abortable runs only. *)
+  abort_rate : float;  (** aborts / attempts. *)
+  acquire_p50 : float;
+      (** median successful-acquire latency, ns (log-bucketed histogram
+          upper bound, ~2x resolution). *)
+  acquire_p99 : float;
+      (** 99th-percentile acquire latency, ns — tail waiting time, the
+          per-acquisition face of the Figure 5 fairness story. *)
+  acquire_max : float;
+}
+
+module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNTIME) : sig
+  val run :
+    ?name:string ->
+    (module Cohort.Lock_intf.LOCK) ->
+    topology:Numa_base.Topology.t ->
+    cfg:Cohort.Lock_intf.config ->
+    n_threads:int ->
+    duration:int ->
+    seed:int ->
+    result
+
+  val run_abortable :
+    ?name:string ->
+    (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
+    topology:Numa_base.Topology.t ->
+    cfg:Cohort.Lock_intf.config ->
+    n_threads:int ->
+    duration:int ->
+    seed:int ->
+    patience:int ->
+    result
+  (** Like [run], but acquires with [try_acquire ~patience]; timed-out
+      attempts count as aborts and the thread retries after its
+      non-critical delay. *)
+end
+(** [M] and [RT] must belong to the same substrate
+    (e.g. [Sim_mem]/[Sim_runtime] or [Nat_mem]/[Nat_runtime]). *)

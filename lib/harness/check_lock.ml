@@ -2,13 +2,18 @@ module LI = Cohort.Lock_intf
 
 exception Protocol_violation of string
 
+(* The checker's state is host-side: [owner] is an [Atomic.t] so that the
+   acquired/released transitions are sound under native domains too (an
+   [exchange] that observes another holder is a definitive mutual-
+   exclusion failure, not a torn read). Under the simulator atomics are
+   ordinary host operations, so wrapping costs no simulated time. *)
 let wrap (module L : LI.LOCK) : (module LI.LOCK) =
   let module C = struct
-    type t = { inner : L.t; mutable owner : int (* tid; -1 = free *) }
+    type t = { inner : L.t; owner : int Atomic.t (* tid; -1 = free *) }
     type thread = { l : t; th : L.thread; tid : int; mutable holds : bool }
 
     let name = L.name ^ "+check"
-    let create cfg = { inner = L.create cfg; owner = -1 }
+    let create cfg = { inner = L.create cfg; owner = Atomic.make (-1) }
 
     let register l ~tid ~cluster =
       { l; th = L.register l.inner ~tid ~cluster; tid; holds = false }
@@ -20,14 +25,14 @@ let wrap (module L : LI.LOCK) : (module LI.LOCK) =
              (Printf.sprintf "%s: thread %d re-acquired a held handle" name
                 w.tid));
       L.acquire w.th;
-      if w.l.owner <> -1 then
+      let prev = Atomic.exchange w.l.owner w.tid in
+      if prev <> -1 then
         raise
           (Protocol_violation
              (Printf.sprintf
                 "%s: thread %d acquired while thread %d still holds — mutual \
                  exclusion broken"
-                name w.tid w.l.owner));
-      w.l.owner <- w.tid;
+                name w.tid prev));
       w.holds <- true
 
     let release w =
@@ -36,13 +41,12 @@ let wrap (module L : LI.LOCK) : (module LI.LOCK) =
           (Protocol_violation
              (Printf.sprintf "%s: thread %d released without holding" name
                 w.tid));
-      if w.l.owner <> w.tid then
+      w.holds <- false;
+      if not (Atomic.compare_and_set w.l.owner w.tid (-1)) then
         raise
           (Protocol_violation
              (Printf.sprintf "%s: thread %d released but owner is %d" name
-                w.tid w.l.owner));
-      w.holds <- false;
-      w.l.owner <- -1;
+                w.tid (Atomic.get w.l.owner)));
       L.release w.th
   end in
   (module C)

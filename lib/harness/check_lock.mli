@@ -5,9 +5,12 @@
     protocol misuse into an immediate exception instead of a mysterious
     deadlock or safety violation.
 
-    The checker's own state is host-side and sequentially consistent only
-    under the simulator; under native parallel execution a protocol
-    violation may be detected late (never falsely). *)
+    The wrapper is substrate-generic: a [LOCK] module is already
+    substrate-neutral, and the checker's own state uses host [Atomic]s,
+    so the same [wrap] is sound on simulated fibers and on native
+    domains (and costs no simulated time under the simulator). Inside a
+    runtime-managed run, the raised violation surfaces as
+    [Runtime_intf.Thread_failure] carrying {!Protocol_violation}. *)
 
 exception Protocol_violation of string
 
@@ -16,5 +19,5 @@ val wrap :
 (** Violations raise {!Protocol_violation}:
     - [release] on a handle that is not holding;
     - [acquire] on a handle that already holds (no reentrancy);
-    - [release] from a handle while a different handle holds (implies a
-      mutual-exclusion failure of the underlying lock). *)
+    - [acquire] or [release] observing another handle as holder (implies
+      a mutual-exclusion failure of the underlying lock). *)

@@ -1,9 +1,11 @@
-open Numa_base
-module M = Numasim.Sim_mem
-module E = Numasim.Engine
-module LI = Cohort.Lock_intf
+(* The simulation instance of the substrate-generic benchmark core. The
+   historical [Lbench] name and API are preserved: every experiment,
+   example and golden test keeps calling [Lbench.run] and reading
+   [result] fields unchanged. *)
 
-type result = {
+module Core = Bench_core.Make (Numasim.Sim_mem) (Numasim.Sim_runtime)
+
+type result = Bench_core.result = {
   lock_name : string;
   n_threads : int;
   duration_ns : int;
@@ -20,121 +22,5 @@ type result = {
   acquire_max : float;
 }
 
-(* The shared critical-section data: four counters on each of two cache
-   lines (paper, Figure 2 caption). *)
-type cs_data = { line_a : int M.cell array; line_b : int M.cell array }
-
-let make_cs_data () =
-  let mk name =
-    let ln = M.line ~name () in
-    Array.init 4 (fun _ -> M.cell ln 0)
-  in
-  { line_a = mk "lbench.a"; line_b = mk "lbench.b" }
-
-let run_cs data =
-  let bump c = M.write c (M.read c + 1) in
-  Array.iter bump data.line_a;
-  Array.iter bump data.line_b
-
-let summarise ~lock_name ~n_threads ~duration ~counts ~migrations ~aborts
-    ~latencies ~(coherence : Numasim.Coherence.stats) =
-  let iterations = Array.fold_left ( + ) 0 counts in
-  let stats = Stats.of_array (Array.map float_of_int counts) in
-  let attempts = iterations + aborts in
-  let pct q = float_of_int (Stats.Histogram.quantile latencies q) in
-  {
-    lock_name;
-    n_threads;
-    duration_ns = duration;
-    iterations;
-    throughput = float_of_int iterations /. (float_of_int duration *. 1e-9);
-    per_thread = counts;
-    fairness_stddev_pct = Stats.stddev_pct stats;
-    migrations;
-    misses_per_cs =
-      (if iterations = 0 then 0.
-       else
-         float_of_int coherence.Numasim.Coherence.coherence_misses
-         /. float_of_int iterations);
-    aborts;
-    abort_rate =
-      (if attempts = 0 then 0. else float_of_int aborts /. float_of_int attempts);
-    acquire_p50 = pct 0.5;
-    acquire_p99 = pct 0.99;
-    acquire_max = float_of_int (Stats.Histogram.max_seen latencies);
-  }
-
-(* Body shared by the two entry points; [try_enter] returns true when the
-   lock was acquired. Migration tracking uses host-side refs so the
-   instrumentation does not perturb the simulation. *)
-let run_generic ~lock_name ~register_and_loop ~topology ~n_threads ~duration
-    ~seed =
-  let counts = Array.make n_threads 0 in
-  let aborts = ref 0 in
-  let migrations = ref 0 in
-  let last_cluster = ref (-1) in
-  let latencies = Stats.Histogram.create () in
-  let data = make_cs_data () in
-  let r =
-    E.run ~topology ~n_threads (fun ~tid ~cluster ->
-        let rng = Prng.create (seed + (tid * 7919) + 13) in
-        register_and_loop ~tid ~cluster ~rng ~data ~counts ~aborts ~migrations
-          ~last_cluster ~latencies ~stop:duration)
-  in
-  summarise ~lock_name ~n_threads ~duration ~counts ~migrations:!migrations
-    ~aborts:!aborts ~latencies ~coherence:r.E.coherence
-
-let non_cs_delay rng = Prng.int rng 4_000 (* idle spin of up to 4 us *)
-
-let run ?name (module L : LI.LOCK) ~topology ~cfg ~n_threads ~duration ~seed =
-  let l = L.create cfg in
-  run_generic ~lock_name:(Option.value name ~default:L.name)
-    ~register_and_loop:(fun ~tid ~cluster ~rng ~data ~counts ~aborts:_
-                            ~migrations ~last_cluster ~latencies ~stop ->
-      let th = L.register l ~tid ~cluster in
-      let rec loop () =
-        if M.now () < stop then begin
-          let t0 = M.now () in
-          L.acquire th;
-          Stats.Histogram.add latencies (M.now () - t0);
-          if !last_cluster <> cluster then begin
-            incr migrations;
-            last_cluster := cluster
-          end;
-          run_cs data;
-          counts.(tid) <- counts.(tid) + 1;
-          L.release th;
-          M.pause (non_cs_delay rng);
-          loop ()
-        end
-      in
-      loop ())
-    ~topology ~n_threads ~duration ~seed
-
-let run_abortable ?name (module L : LI.ABORTABLE_LOCK) ~topology ~cfg
-    ~n_threads ~duration ~seed ~patience =
-  let l = L.create cfg in
-  run_generic ~lock_name:(Option.value name ~default:L.name)
-    ~register_and_loop:(fun ~tid ~cluster ~rng ~data ~counts ~aborts
-                            ~migrations ~last_cluster ~latencies ~stop ->
-      let th = L.register l ~tid ~cluster in
-      let rec loop () =
-        if M.now () < stop then begin
-          let t0 = M.now () in
-          if L.try_acquire th ~patience then begin
-            Stats.Histogram.add latencies (M.now () - t0);
-            if !last_cluster <> cluster then begin
-              incr migrations;
-              last_cluster := cluster
-            end;
-            run_cs data;
-            counts.(tid) <- counts.(tid) + 1;
-            L.release th
-          end
-          else incr aborts;
-          M.pause (non_cs_delay rng);
-          loop ()
-        end
-      in
-      loop ())
-    ~topology ~n_threads ~duration ~seed
+let run = Core.run
+let run_abortable = Core.run_abortable

@@ -1,14 +1,14 @@
-(** LBench: the paper's microbenchmark (section 4.1).
+(** LBench: the paper's microbenchmark (section 4.1), on the simulated
+    substrate.
 
-    Each thread loops: acquire the central lock; execute a critical
-    section that increments four integer counters on each of two distinct
-    cache lines; release; then idle for a non-critical section of up to
-    4 µs. After the measurement window the benchmark reports aggregate
-    throughput, per-thread iteration statistics (long-term fairness,
-    Figure 5), lock-migration counts, and L2 coherence misses per
-    critical section (Figure 3). *)
+    This is {!Bench_core.Make} instantiated over [Sim_mem]/[Sim_runtime]
+    — see {!Bench_core} for the benchmark loop and the meaning of every
+    [result] field. Simulation adds what the native substrate cannot
+    measure: deterministic replay (fixed seed → exact counts) and
+    coherence-miss reporting ([misses_per_cs] is a number here, [nan]
+    natively). *)
 
-type result = {
+type result = Bench_core.result = {
   lock_name : string;
   n_threads : int;
   duration_ns : int;  (** simulated measurement window. *)

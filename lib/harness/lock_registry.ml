@@ -1,28 +1,11 @@
-(** All locks instantiated over the simulated memory substrate, grouped
-    as in the paper's evaluation, with per-lock configuration tweaks
-    (notably the two HBO parameterisations whose instability Tables 1-2
-    demonstrate). *)
+(** The full paper line-up as a functor over the memory substrate,
+    grouped as in the paper's evaluation, with per-lock configuration
+    tweaks (notably the two HBO parameterisations whose instability
+    Tables 1-2 demonstrate). The toplevel [include] instantiates it over
+    the simulated substrate, preserving the historical sim-specialised
+    module; {!Native.Registry} is the same definition over [Nat_mem]. *)
 
 module LI = Cohort.Lock_intf
-module M = Numasim.Sim_mem
-
-module Bo = Cohort.Bo_lock.Make (M)
-module Tkt = Cohort.Ticket_lock.Make (M)
-module Mcs = Cohort.Mcs_lock.Make (M)
-module Clh = Cohort.Clh_lock.Make (M)
-module C_bo_bo = Cohort.Cohort_locks.C_bo_bo (M)
-module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (M)
-module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M)
-module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (M)
-module C_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (M)
-module Aclh = Cohort.Aclh_lock.Make (M)
-module A_c_bo_bo = Cohort.A_c_bo_bo.Make (M)
-module A_c_bo_clh = Cohort.A_c_bo_clh.Make (M)
-module Hbo = Baselines.Hbo_lock.Make (M)
-module Hclh = Baselines.Hclh_lock.Make (M)
-module Fcmcs = Baselines.Fc_mcs.Make (M)
-module Fibbo = Baselines.Fib_bo.Make (M)
-module Pthread = Baselines.Pthread_like.Make (M)
 
 type entry = {
   name : string;
@@ -59,67 +42,106 @@ let hbo_app cfg =
     hbo_remote_max = 1_500_000;
   }
 
-(* The Figure 2-5 line-up, in the paper's legend order. *)
-let microbench_locks : entry list =
-  [
-    plain "MCS" (module Mcs.Plain);
-    { name = "HBO"; lock = (module Hbo.Lock); tweak = hbo_micro };
-    plain "HCLH" (module Hclh);
-    plain "FC-MCS" (module Fcmcs);
-    plain "C-BO-BO" (module C_bo_bo);
-    plain "C-TKT-TKT" (module C_tkt_tkt);
-    plain "C-BO-MCS" (module C_bo_mcs);
-    plain "C-TKT-MCS" (module C_tkt_mcs);
-    plain "C-MCS-MCS" (module C_mcs_mcs);
-  ]
+module type S = sig
+  val microbench_locks : entry list
+  val abortable_locks : abortable_entry list
+  val app_locks : entry list
+  val extra_locks : entry list
+  val all_locks : entry list
+  val find : string -> entry option
+  val find_abortable : string -> abortable_entry option
 
-(* The Figure 6 line-up. *)
-let abortable_locks : abortable_entry list =
-  [
-    { a_name = "A-CLH"; a_lock = (module Aclh.Abortable); a_tweak = Fun.id };
-    { a_name = "A-HBO"; a_lock = (module Hbo.Abortable); a_tweak = hbo_micro };
-    { a_name = "A-C-BO-BO"; a_lock = (module A_c_bo_bo); a_tweak = Fun.id };
-    { a_name = "A-C-BO-CLH"; a_lock = (module A_c_bo_clh); a_tweak = Fun.id };
-  ]
+  module Blk : sig
+    module Plain : LI.LOCK
+    module Global : LI.GLOBAL
+    module Local : LI.LOCAL
+  end
 
-(* The Table 1/2 line-up (pthread is the normalisation baseline and the
-   first column). *)
-let app_locks : entry list =
-  [
-    plain "pthread" (module Pthread);
-    plain "Fib-BO" (module Fibbo);
-    plain "MCS" (module Mcs.Plain);
-    { name = "HBO"; lock = (module Hbo.Lock); tweak = hbo_micro };
-    { name = "HBO (tuned)"; lock = (module Hbo.Lock); tweak = hbo_app };
-    plain "FC-MCS" (module Fcmcs);
-    plain "C-BO-BO" (module C_bo_bo);
-    plain "C-TKT-TKT" (module C_tkt_tkt);
-    plain "C-BO-MCS" (module C_bo_mcs);
-    plain "C-TKT-MCS" (module C_tkt_mcs);
-    plain "C-MCS-MCS" (module C_mcs_mcs);
-  ]
+  module C_blk_blk : LI.COHORT_LOCK
+end
 
-module Hclh_full = Baselines.Hclh_full.Make (M)
+module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module Bo = Cohort.Bo_lock.Make (M)
+  module Tkt = Cohort.Ticket_lock.Make (M)
+  module Mcs = Cohort.Mcs_lock.Make (M)
+  module Clh = Cohort.Clh_lock.Make (M)
+  module C_bo_bo = Cohort.Cohort_locks.C_bo_bo (M)
+  module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (M)
+  module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M)
+  module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (M)
+  module C_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (M)
+  module Aclh = Cohort.Aclh_lock.Make (M)
+  module A_c_bo_bo = Cohort.A_c_bo_bo.Make (M)
+  module A_c_bo_clh = Cohort.A_c_bo_clh.Make (M)
+  module Hbo = Baselines.Hbo_lock.Make (M)
+  module Hclh = Baselines.Hclh_lock.Make (M)
+  module Hclh_full = Baselines.Hclh_full.Make (M)
+  module Fcmcs = Baselines.Fc_mcs.Make (M)
+  module Fibbo = Baselines.Fib_bo.Make (M)
+  module Pthread = Baselines.Pthread_like.Make (M)
 
-let extra_locks : entry list =
-  [ plain "BO" (module Bo.Plain); plain "TKT" (module Tkt.Plain);
-    plain "CLH" (module Clh.Plain); plain "HCLH-full" (module Hclh_full) ]
+  (* The Figure 2-5 line-up, in the paper's legend order. *)
+  let microbench_locks : entry list =
+    [
+      plain "MCS" (module Mcs.Plain);
+      { name = "HBO"; lock = (module Hbo.Lock); tweak = hbo_micro };
+      plain "HCLH" (module Hclh);
+      plain "FC-MCS" (module Fcmcs);
+      plain "C-BO-BO" (module C_bo_bo);
+      plain "C-TKT-TKT" (module C_tkt_tkt);
+      plain "C-BO-MCS" (module C_bo_mcs);
+      plain "C-TKT-MCS" (module C_tkt_mcs);
+      plain "C-MCS-MCS" (module C_mcs_mcs);
+    ]
 
-let all_locks : entry list =
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun e ->
-      if Hashtbl.mem seen e.name then false
-      else begin
-        Hashtbl.add seen e.name ();
-        true
-      end)
-    (microbench_locks @ app_locks @ extra_locks)
+  (* The Figure 6 line-up. *)
+  let abortable_locks : abortable_entry list =
+    [
+      { a_name = "A-CLH"; a_lock = (module Aclh.Abortable); a_tweak = Fun.id };
+      { a_name = "A-HBO"; a_lock = (module Hbo.Abortable); a_tweak = hbo_micro };
+      { a_name = "A-C-BO-BO"; a_lock = (module A_c_bo_bo); a_tweak = Fun.id };
+      { a_name = "A-C-BO-CLH"; a_lock = (module A_c_bo_clh); a_tweak = Fun.id };
+    ]
 
-let find name = List.find_opt (fun e -> e.name = name) all_locks
+  (* The Table 1/2 line-up (pthread is the normalisation baseline and the
+     first column). *)
+  let app_locks : entry list =
+    [
+      plain "pthread" (module Pthread);
+      plain "Fib-BO" (module Fibbo);
+      plain "MCS" (module Mcs.Plain);
+      { name = "HBO"; lock = (module Hbo.Lock); tweak = hbo_micro };
+      { name = "HBO (tuned)"; lock = (module Hbo.Lock); tweak = hbo_app };
+      plain "FC-MCS" (module Fcmcs);
+      plain "C-BO-BO" (module C_bo_bo);
+      plain "C-TKT-TKT" (module C_tkt_tkt);
+      plain "C-BO-MCS" (module C_bo_mcs);
+      plain "C-TKT-MCS" (module C_tkt_mcs);
+      plain "C-MCS-MCS" (module C_mcs_mcs);
+    ]
 
-let find_abortable name =
-  List.find_opt (fun e -> e.a_name = name) abortable_locks
+  let extra_locks : entry list =
+    [ plain "BO" (module Bo.Plain); plain "TKT" (module Tkt.Plain);
+      plain "CLH" (module Clh.Plain); plain "HCLH-full" (module Hclh_full) ]
 
-module Blk = Cohort.Park_lock.Make (M)
-module C_blk_blk = Cohort.Cohort_locks.C_blk_blk (M)
+  let all_locks : entry list =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen e.name then false
+        else begin
+          Hashtbl.add seen e.name ();
+          true
+        end)
+      (microbench_locks @ app_locks @ extra_locks)
+
+  let find name = List.find_opt (fun e -> e.name = name) all_locks
+
+  let find_abortable name =
+    List.find_opt (fun e -> e.a_name = name) abortable_locks
+
+  module Blk = Cohort.Park_lock.Make (M)
+  module C_blk_blk = Cohort.Cohort_locks.C_blk_blk (M)
+end
+
+include Make (Numasim.Sim_mem)

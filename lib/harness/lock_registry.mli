@@ -1,7 +1,12 @@
-(** All locks instantiated over the simulated memory substrate, grouped
-    as in the paper's evaluation, with per-lock configuration tweaks
-    (notably the two HBO parameterisations whose instability Tables 1-2
-    demonstrate). *)
+(** The full paper line-up of locks, grouped as in the paper's
+    evaluation, with per-lock configuration tweaks (notably the two HBO
+    parameterisations whose instability Tables 1-2 demonstrate).
+
+    Entries carry first-class [LI.LOCK] modules, which are
+    substrate-neutral: the lists exist for any memory substrate through
+    {!Make}, from one definition. The toplevel values are the simulated
+    instantiation (the historical interface every experiment uses);
+    {!Native.Registry} is the native one. *)
 
 module LI = Cohort.Lock_intf
 
@@ -28,31 +33,40 @@ val hbo_app : LI.config -> LI.config
 (** HBO backoff parameters tuned for application-length critical
     sections (the paper's "HBO (tuned)" column). *)
 
-val microbench_locks : entry list
-(** The Figure 2-5 line-up, in the paper's legend order (9 locks). *)
+(** What a registry instantiation provides. *)
+module type S = sig
+  val microbench_locks : entry list
+  (** The Figure 2-5 line-up, in the paper's legend order (9 locks). *)
 
-val abortable_locks : abortable_entry list
-(** The Figure 6 line-up (4 locks). *)
+  val abortable_locks : abortable_entry list
+  (** The Figure 6 line-up (4 locks). *)
 
-val app_locks : entry list
-(** The Table 1/2 line-up (11 locks; pthread first, as the
-    normalisation baseline). *)
+  val app_locks : entry list
+  (** The Table 1/2 line-up (11 locks; pthread first, as the
+      normalisation baseline). *)
 
-val extra_locks : entry list
-(** Locks outside the paper's evaluation line-ups (plain BO/TKT/CLH). *)
+  val extra_locks : entry list
+  (** Locks outside the paper's evaluation line-ups (plain BO/TKT/CLH). *)
 
-val all_locks : entry list
-(** Every entry, deduplicated by name. *)
+  val all_locks : entry list
+  (** Every entry, deduplicated by name. *)
 
-val find : string -> entry option
-val find_abortable : string -> abortable_entry option
+  val find : string -> entry option
+  val find_abortable : string -> abortable_entry option
 
-(** Direct instantiations needed by extension experiments. *)
+  (** Direct instantiations needed by extension experiments. *)
 
-module Blk : sig
-  module Plain : LI.LOCK
-  module Global : LI.GLOBAL
-  module Local : LI.LOCAL
+  module Blk : sig
+    module Plain : LI.LOCK
+    module Global : LI.GLOBAL
+    module Local : LI.LOCAL
+  end
+
+  module C_blk_blk : LI.COHORT_LOCK
 end
 
-module C_blk_blk : LI.COHORT_LOCK
+module Make (M : Numa_base.Memory_intf.MEMORY) : S
+(** Instantiate the whole line-up over a memory substrate. *)
+
+include S
+(** The simulated-substrate registry. *)

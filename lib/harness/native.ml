@@ -1,0 +1,11 @@
+(** The native-substrate instantiations of the substrate-generic harness
+    — the one place the harness meets [Nat_mem]/[Nat_runtime]. Everything
+    here is the same source as the simulated harness: {!Registry} mirrors
+    the toplevel {!Lock_registry}, {!Bench} mirrors {!Lbench}, and
+    {!Torture} mirrors the simulated campaign in [bin/torture.exe]. *)
+
+module Registry = Lock_registry.Make (Numa_native.Nat_mem)
+module Bench = Bench_core.Make (Numa_native.Nat_mem) (Numa_native.Nat_runtime)
+
+module Torture =
+  Torture_core.Make (Numa_native.Nat_mem) (Numa_native.Nat_runtime)

@@ -1,0 +1,13 @@
+(** {!Numa_base.Runtime_intf.RUNTIME} over real domains.
+
+    [run] spawns one [Domain] per thread, calls [Nat_mem.set_identity]
+    with the cluster assigned by the topology's placement, and joins them
+    all. [stop_after] is served by the spawning thread sleeping and then
+    raising the stop flag — bodies must poll [stopped] to terminate. The
+    stop flag and barriers are built from [Nat_mem] cells, so waiters
+    inherit its sleep-escalation backoff (domains here usually outnumber
+    cores). An exception escaping any body stops the run and is re-raised
+    as {!Numa_base.Runtime_intf.Thread_failure} after all domains have
+    been joined. *)
+
+include Numa_base.Runtime_intf.RUNTIME

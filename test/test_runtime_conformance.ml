@@ -1,0 +1,169 @@
+(* Conformance suite for the RUNTIME capability signature, run against
+   both implementations: Numasim.Sim_runtime (effect fibers) and
+   Numa_native.Nat_runtime (real domains). Mirrors
+   test_memory_conformance.ml's role for MEMORY: every harness-visible
+   behaviour — topology placement, stop-flag visibility, barriers,
+   failure reporting (checker violations raised natively) — must hold on
+   both substrates. Native pacing uses pauses long enough to reach
+   Nat_mem's sleeping tier, so oversubscribed domains still interleave. *)
+
+open Numa_base
+module LI = Cohort.Lock_intf
+
+(* A deliberately broken "lock" (acquire is a no-op): Check_lock.wrap
+   must turn concurrent critical sections into a Protocol_violation on
+   either substrate. *)
+module Broken : LI.LOCK = struct
+  type t = unit
+  type thread = unit
+
+  let name = "broken"
+  let create _ = ()
+  let register () ~tid:_ ~cluster:_ = ()
+  let acquire () = ()
+  let release () = ()
+end
+
+module Conf
+    (M : Memory_intf.MEMORY)
+    (RT : Runtime_intf.RUNTIME) (P : sig
+      val tick : int
+      (** pause quantum, ns: long enough to deschedule a native domain. *)
+    end) =
+struct
+  let topo4 =
+    Topology.make ~name:"conf4" ~clusters:4 ~threads_per_cluster:4
+      Latency.t5440
+
+  let test_placement () =
+    let n = 8 in
+    let declared = Array.make n (-1) in
+    let observed = Array.make n (-1) in
+    let tids = Array.make n (-1) in
+    ignore
+      (RT.run ~topology:topo4 ~n_threads:n (fun ~stop:_ ~tid ~cluster ->
+           declared.(tid) <- cluster;
+           observed.(tid) <- M.self_cluster ();
+           tids.(tid) <- M.self_id ()));
+    for tid = 0 to n - 1 do
+      let expect = Topology.cluster_of_thread topo4 tid in
+      Alcotest.(check int)
+        (Printf.sprintf "tid %d placed per topology" tid)
+        expect declared.(tid);
+      Alcotest.(check int)
+        (Printf.sprintf "tid %d identity cluster" tid)
+        expect observed.(tid);
+      Alcotest.(check int) (Printf.sprintf "tid %d identity id" tid) tid
+        tids.(tid)
+    done
+
+  let test_stop_after () =
+    let n = 4 in
+    let iters = Array.make n 0 in
+    let stats =
+      RT.run ~topology:topo4 ~n_threads:n ~stop_after:(100 * P.tick)
+        (fun ~stop ~tid ~cluster:_ ->
+          while not (RT.stopped stop) do
+            M.pause P.tick;
+            iters.(tid) <- iters.(tid) + 1
+          done)
+    in
+    Alcotest.(check int)
+      "all threads finished" n stats.Runtime_intf.threads_finished;
+    Array.iteri
+      (fun tid it ->
+        Alcotest.(check bool)
+          (Printf.sprintf "tid %d made progress before the deadline" tid)
+          true (it > 0))
+      iters;
+    Alcotest.(check bool) "sim-only stats present iff deterministic" true
+      (RT.deterministic = (stats.Runtime_intf.coherence_misses <> None))
+
+  let test_manual_stop () =
+    let n = 4 in
+    let finished = Array.make n false in
+    let stats =
+      RT.run ~topology:topo4 ~n_threads:n (fun ~stop ~tid ~cluster:_ ->
+          if tid = 0 then begin
+            M.pause (10 * P.tick);
+            RT.request_stop stop
+          end
+          else
+            while not (RT.stopped stop) do
+              M.pause P.tick
+            done;
+          finished.(tid) <- true)
+    in
+    Alcotest.(check int)
+      "stop propagated to every thread" n stats.Runtime_intf.threads_finished;
+    Alcotest.(check bool) "every body ran to completion" true
+      (Array.for_all Fun.id finished)
+
+  let test_barrier () =
+    let n = 4 in
+    let b = RT.make_barrier ~n in
+    let arrived = Array.make n false in
+    let stragglers = Atomic.make 0 in
+    ignore
+      (RT.run ~topology:topo4 ~n_threads:n (fun ~stop:_ ~tid ~cluster:_ ->
+           (* Stagger arrivals so the barrier actually holds threads. *)
+           M.pause (tid * P.tick);
+           arrived.(tid) <- true;
+           RT.await b;
+           if not (Array.for_all Fun.id arrived) then Atomic.incr stragglers));
+    Alcotest.(check int)
+      "no thread crossed before all arrived" 0 (Atomic.get stragglers)
+
+  let test_checker_violation_raised () =
+    let (module L) = Harness.Check_lock.wrap (module Broken) in
+    let l = L.create { LI.default with clusters = 4; max_threads = 8 } in
+    let raised =
+      try
+        ignore
+          (RT.run ~topology:topo4 ~n_threads:3 ~stop_after:(2_000 * P.tick)
+             (fun ~stop ~tid ~cluster ->
+               let th = L.register l ~tid ~cluster in
+               while not (RT.stopped stop) do
+                 L.acquire th;
+                 M.pause P.tick;
+                 L.release th
+               done));
+        false
+      with
+      | Runtime_intf.Thread_failure
+          { exn = Harness.Check_lock.Protocol_violation _; _ } ->
+          true
+    in
+    Alcotest.(check bool)
+      "broken mutual exclusion surfaced as Protocol_violation" true raised
+
+  let suite speed =
+    [
+      Alcotest.test_case "topology placement" speed test_placement;
+      Alcotest.test_case "stop flag: deadline" speed test_stop_after;
+      Alcotest.test_case "stop flag: manual request" speed test_manual_stop;
+      Alcotest.test_case "barrier" speed test_barrier;
+      Alcotest.test_case "checker violation raised" speed
+        test_checker_violation_raised;
+    ]
+end
+
+module Sim_conf =
+  Conf (Numasim.Sim_mem) (Numasim.Sim_runtime)
+    (struct
+      let tick = 1_000
+    end)
+
+(* Native ticks reach Nat_mem.pause's sleeping tier (>= 5 us), so a
+   pausing domain yields the core and peers genuinely overlap. *)
+module Nat_conf =
+  Conf (Numa_native.Nat_mem) (Numa_native.Nat_runtime)
+    (struct
+      let tick = 50_000
+    end)
+
+let () =
+  Alcotest.run "runtime_conformance"
+    [
+      ("sim", Sim_conf.suite `Quick); ("native", Nat_conf.suite `Slow);
+    ]
