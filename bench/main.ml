@@ -5,6 +5,14 @@
      dune exec bench/main.exe            # everything (~2 minutes)
      dune exec bench/main.exe -- quick   # reduced sweep (~20 s)
 
+   Extra flags:
+     --emit-bench-json FILE   versioned BENCH artifact from the two
+                              sweeps (sim results only — deterministic,
+                              byte-identical across same-seed runs)
+     --trace FILE             lock-event trace of the sweeps; .jsonl
+                              streams JSONL, anything else writes a
+                              Chrome trace_event file
+
    Figures 2-5 derive from one LBench sweep; Figure 6 from the abortable
    sweep; Tables 1-2 from the KV-store and allocator workloads. The
    Bechamel section measures single-thread acquire+release latency of
@@ -13,6 +21,7 @@
 
 open Bechamel
 module X = Harness.Experiments
+module R = Harness.Lock_registry
 module W = Apps.Kv_workload
 module Nm = Numa_native.Nat_mem
 module LI = Cohort.Lock_intf
@@ -86,7 +95,26 @@ let run_bechamel () =
 
 (* --- Simulated figures and tables --------------------------------------- *)
 
-let run_sim ~quick =
+(* [--trace FILE]: a sink for the sweeps plus the finaliser that lands
+   the file. JSONL streams as events happen; the Chrome export buffers
+   in a ring and writes on completion. *)
+let trace_sink = function
+  | None -> (Numa_trace.Sink.noop, fun () -> ())
+  | Some path when Filename.check_suffix path ".jsonl" ->
+      let sink = Numa_trace.Jsonl.to_file path in
+      (sink, fun () -> Numa_trace.Sink.close sink)
+  | Some path ->
+      let ring = Numa_trace.Ring.create ~capacity:1_048_576 in
+      ( Numa_trace.Ring.sink ring,
+        fun () -> Numa_trace.Chrome.write_file path (Numa_trace.Ring.events ring) )
+
+let sweep_entries ~experiment (sweep : X.sweep) =
+  Array.to_list sweep.X.cells
+  |> List.concat_map (fun col ->
+         Array.to_list col
+         |> List.map (Harness.Bench_json.entry_of_result ~experiment))
+
+let run_sim ~quick ~trace ~emit =
   let seed = 42 in
   let duration = if quick then 2_000_000 else 5_000_000 in
   let fig_threads =
@@ -100,8 +128,12 @@ let run_sim ~quick =
     if quick then [ 1; 8; 64; 255 ] else [ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
   in
   Printf.printf "%s\n\n%!" (X.params_summary ~topology ~duration ~seed);
+  let sink, finish_trace = trace_sink trace in
+  let rollup = emit <> None in
   let sweep =
-    X.microbench_sweep ~topology ~threads:fig_threads ~duration ~seed ()
+    X.microbench_sweep
+      ~locks:(List.map (R.with_trace sink) R.microbench_locks)
+      ~rollup ~topology ~threads:fig_threads ~duration ~seed ()
   in
   X.print_fig2 sweep;
   X.print_fig3 sweep;
@@ -109,7 +141,9 @@ let run_sim ~quick =
   X.print_fig5 sweep;
   X.print_fig5_latency sweep;
   let asweep =
-    X.abortable_sweep ~topology ~threads:fig_threads ~duration ~seed
+    X.abortable_sweep
+      ~locks:(List.map (R.with_trace_abortable sink) R.abortable_locks)
+      ~rollup ~topology ~threads:fig_threads ~duration ~seed
       ~patience:2_000_000 ()
   in
   X.print_fig6 asweep;
@@ -130,9 +164,36 @@ let run_sim ~quick =
     (X.extension_bimodal ~topology ~n_threads:32 ~duration ~seed ());
   X.print_table (X.topology_sensitivity ~n_threads:64 ~duration ~seed ());
   X.print_table
-    (X.composition_matrix ~topology ~n_threads:64 ~duration ~seed ())
+    (X.composition_matrix ~topology ~n_threads:64 ~duration ~seed ());
+  finish_trace ();
+  (match trace with
+  | Some path -> Printf.printf "Wrote lock-event trace to %s\n%!" path
+  | None -> ());
+  match emit with
+  | None -> ()
+  | Some path ->
+      let entries =
+        sweep_entries ~experiment:"lbench" sweep
+        @ sweep_entries ~experiment:"lbench-abortable" asweep
+      in
+      Harness.Bench_json.(write path (make ~substrate:"sim" ~seed entries));
+      Printf.printf "Wrote bench artifact to %s\n%!" path
 
 let () =
-  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let rec parse (quick, trace, emit) = function
+    | [] -> (quick, trace, emit)
+    | "quick" :: rest -> parse (true, trace, emit) rest
+    | "--trace" :: f :: rest -> parse (quick, Some f, emit) rest
+    | "--emit-bench-json" :: f :: rest -> parse (quick, trace, Some f) rest
+    | a :: _ ->
+        Printf.eprintf
+          "unknown argument %S (expected: quick, --trace FILE, \
+           --emit-bench-json FILE)\n"
+          a;
+        exit 2
+  in
+  let quick, trace, emit =
+    parse (false, None, None) (List.tl (Array.to_list Sys.argv))
+  in
   run_bechamel ();
-  run_sim ~quick
+  run_sim ~quick ~trace ~emit

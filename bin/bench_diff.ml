@@ -1,0 +1,64 @@
+(* Regression gate over two BENCH_*.json artifacts.
+
+     dune exec bin/bench_diff.exe -- BASELINE CURRENT [--threshold PCT]
+
+   Compares the gated higher-is-better metrics (throughput) of every
+   (experiment, lock, threads) entry present in BASELINE against
+   CURRENT. Exits 1 if any entry regressed by more than the threshold
+   (default 10%), which is the check scripts/ci.sh runs against the
+   newest committed artifact. Entries or metrics that cannot be compared
+   (new locks, removed sweeps, null metrics) print as warnings and do
+   not fail the gate. *)
+
+open Cmdliner
+module BJ = Harness.Bench_json
+
+let load what path =
+  match BJ.read path with
+  | Ok t -> t
+  | Error e ->
+      Printf.eprintf "bench_diff: cannot read %s artifact %s: %s\n" what path e;
+      exit 2
+
+let run baseline current threshold =
+  let b = load "baseline" baseline in
+  let c = load "current" current in
+  if b.BJ.substrate <> c.BJ.substrate then
+    Printf.printf "note: comparing %s baseline against %s current\n"
+      b.BJ.substrate c.BJ.substrate;
+  let regressions, warnings =
+    BJ.compare_artifacts ~baseline:b ~current:c ~threshold_pct:threshold
+  in
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) warnings;
+  Printf.printf "%d baseline entries, threshold %.1f%%: %d regression(s)\n"
+    (List.length b.BJ.entries) threshold
+    (List.length regressions);
+  List.iter
+    (fun (r : BJ.comparison) ->
+      Printf.printf "  REGRESSION %-40s %-12s %.4g -> %.4g (%+.1f%%)\n" r.key
+        r.metric r.baseline r.current r.delta_pct)
+    regressions;
+  if regressions <> [] then exit 1
+
+let baseline =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline artifact (committed BENCH_*.json).")
+
+let current =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CURRENT" ~doc:"Freshly generated artifact to gate.")
+
+let threshold =
+  let doc = "Fail on throughput drops larger than $(docv) percent." in
+  Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+
+let cmd =
+  let doc = "compare two benchmark artifacts and fail on regressions" in
+  Cmd.v (Cmd.info "bench_diff" ~doc)
+    Term.(const run $ baseline $ current $ threshold)
+
+let () = exit (Cmd.eval cmd)

@@ -4,6 +4,7 @@
 
      dune exec bin/native_bench.exe -- [-d DOMAINS] [-c CLUSTERS]
                                        [-t MILLIS] [-l LOCK]... [--abortable]
+                                       [--trace FILE] [--emit-bench-json FILE]
 
    Complements bench/main.exe's Bechamel section (uncontended cost) with
    a contended measurement reporting the full LBench metric set
@@ -34,7 +35,22 @@ let row (r : Harness.Bench_core.result) =
     (if r.aborts = 0 && r.abort_rate = 0. then "-"
      else Rep.fmt_fixed2 (100. *. r.abort_rate))
 
-let run_bench domains clusters millis filters abortable patience seed =
+(* [--trace FILE]: .jsonl streams JSONL; anything else buffers in a ring
+   and writes a Chrome trace_event file on exit. Native timestamps are
+   real monotonic ns, so the Chrome view shows wall-clock handoffs. *)
+let trace_sink = function
+  | None -> (Numa_trace.Sink.noop, fun () -> ())
+  | Some path when Filename.check_suffix path ".jsonl" ->
+      let sink = Numa_trace.Jsonl.to_file path in
+      (sink, fun () -> Numa_trace.Sink.close sink)
+  | Some path ->
+      let ring = Numa_trace.Ring.create ~capacity:1_048_576 in
+      ( Numa_trace.Ring.sink ring,
+        fun () ->
+          Numa_trace.Chrome.write_file path (Numa_trace.Ring.events ring) )
+
+let run_bench domains clusters millis filters abortable patience seed trace
+    emit =
   let tpc = (domains + clusters - 1) / clusters in
   let topology =
     Numa_base.Topology.make ~name:"native" ~clusters
@@ -64,19 +80,46 @@ let run_bench domains clusters millis filters abortable patience seed =
      (1-core container: measures oversubscribed overhead, not NUMA)\n"
     domains clusters millis seed;
   header ();
-  List.iter
-    (fun (e : LR.entry) ->
-      row
-        (Bench.run ~name:e.LR.name e.LR.lock ~topology ~cfg:(e.LR.tweak cfg)
-           ~n_threads:domains ~duration ~seed))
-    entries;
-  List.iter
-    (fun (e : LR.abortable_entry) ->
-      row
-        (Bench.run_abortable ~name:e.LR.a_name e.LR.a_lock ~topology
-           ~cfg:(e.LR.a_tweak cfg) ~n_threads:domains ~duration ~seed
-           ~patience))
-    aentries
+  let sink, finish_trace = trace_sink trace in
+  let rollup = emit <> None in
+  let results =
+    List.map
+      (fun (e : LR.entry) ->
+        let e = LR.with_trace sink e in
+        let r =
+          Bench.run ~name:e.LR.name e.LR.lock ~topology ~cfg:(e.LR.tweak cfg)
+            ~n_threads:domains ~duration ~seed ~rollup
+        in
+        row r;
+        ("native-lbench", r))
+      entries
+    @ List.map
+        (fun (e : LR.abortable_entry) ->
+          let e = LR.with_trace_abortable sink e in
+          let r =
+            Bench.run_abortable ~name:e.LR.a_name e.LR.a_lock ~topology
+              ~cfg:(e.LR.a_tweak cfg) ~n_threads:domains ~duration ~seed
+              ~patience ~rollup
+          in
+          row r;
+          ("native-lbench-abortable", r))
+        aentries
+  in
+  finish_trace ();
+  (match trace with
+  | Some path -> Printf.printf "Wrote lock-event trace to %s\n%!" path
+  | None -> ());
+  match emit with
+  | None -> ()
+  | Some path ->
+      let entries =
+        List.map
+          (fun (experiment, r) ->
+            Harness.Bench_json.entry_of_result ~experiment r)
+          results
+      in
+      Harness.Bench_json.(write path (make ~substrate:"native" ~seed entries));
+      Printf.printf "Wrote bench artifact to %s\n%!" path
 
 let domains =
   let doc = "Number of domains (threads) to contend on the lock." in
@@ -112,6 +155,25 @@ let seed =
   let doc = "Seed for the non-critical-section delay PRNG." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+let trace =
+  let doc =
+    "Write a lock-event trace to $(docv): JSON-lines if it ends in .jsonl, \
+     Chrome trace_event format otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let emit =
+  let doc =
+    "Write a versioned benchmark artifact (cohort-bench JSON, with per-lock \
+     trace-metric rollups) to $(docv). Native artifacts are timing-dependent \
+     and not byte-reproducible; use bench/main.exe for the gated sim \
+     artifact."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-bench-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc =
     "contended native lock throughput over the shared registry and benchmark \
@@ -121,6 +183,6 @@ let cmd =
     (Cmd.info "native_bench" ~doc)
     Term.(
       const run_bench $ domains $ clusters $ millis $ locks $ abortable
-      $ patience $ seed)
+      $ patience $ seed $ trace $ emit)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,7 @@
 open Cmdliner
 module X = Harness.Experiments
 module R = Harness.Report
+module LR = Harness.Lock_registry
 module W = Apps.Kv_workload
 
 let topology = Numa_base.Topology.t5440
@@ -70,6 +71,66 @@ let mix_arg =
     value & opt mix_conv [ W.read_heavy; W.mixed; W.write_heavy ]
     & info [ "mix" ] ~docv:"MIX" ~doc:"Table 1 get/set mix: read|mixed|write|all.")
 
+(* --- Observability: --trace / --emit-bench-json ------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a lock-event trace of the runs to $(docv): a .jsonl suffix \
+           streams JSONL (one event per line), anything else writes a Chrome \
+           trace_event file for chrome://tracing / Perfetto.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-bench-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a versioned benchmark artifact (throughput plus \
+           trace-derived lock metrics per lock and thread count) to $(docv).")
+
+(* The sink the traced runs write into, plus the finaliser that lands the
+   file, plus whether runs should capture metric rollups. *)
+let observe trace emit =
+  let sink, finish =
+    match trace with
+    | None -> (Numa_trace.Sink.noop, fun () -> ())
+    | Some path when Filename.check_suffix path ".jsonl" ->
+        let sink = Numa_trace.Jsonl.to_file path in
+        (sink, fun () -> Numa_trace.Sink.close sink)
+    | Some path ->
+        let ring = Numa_trace.Ring.create ~capacity:1_048_576 in
+        ( Numa_trace.Ring.sink ring,
+          fun () ->
+            Numa_trace.Chrome.write_file path (Numa_trace.Ring.events ring) )
+  in
+  let finish () =
+    finish ();
+    Option.iter (Printf.printf "wrote %s\n%!") trace
+  in
+  (sink, finish, emit <> None)
+
+let sweep_entries ~experiment (s : X.sweep) =
+  Array.to_list s.X.cells
+  |> List.concat_map (fun col ->
+         Array.to_list col
+         |> List.map (Harness.Bench_json.entry_of_result ~experiment))
+
+let emit_artifact emit ~seed sweeps =
+  Option.iter
+    (fun path ->
+      let entries =
+        List.concat_map
+          (fun (experiment, s) -> sweep_entries ~experiment s)
+          sweeps
+      in
+      Harness.Bench_json.(write path (make ~substrate:"sim" ~seed entries));
+      Printf.printf "wrote %s\n%!" path)
+    emit
+
 let maybe_csv csv_dir name ~x_label ~columns ~rows =
   Option.iter
     (fun dir ->
@@ -83,10 +144,15 @@ let banner duration seed =
   Printf.printf "%s\n%!"
     (X.params_summary ~topology ~duration:(duration * 1_000_000) ~seed)
 
-let run_figs ~which threads duration seed csv_dir =
+let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false) threads
+    duration seed csv_dir =
   banner duration seed;
   let duration = duration * 1_000_000 in
-  let s = X.microbench_sweep ~topology ~threads ~duration ~seed () in
+  let s =
+    X.microbench_sweep
+      ~locks:(List.map (LR.with_trace sink) LR.microbench_locks)
+      ~rollup ~topology ~threads ~duration ~seed ()
+  in
   if List.mem `F2 which then begin
     X.print_fig2 s;
     maybe_csv csv_dir "fig2" ~x_label:"threads" ~columns:s.X.columns
@@ -103,72 +169,88 @@ let run_figs ~which threads duration seed csv_dir =
     X.print_fig5_latency s;
     maybe_csv csv_dir "fig5" ~x_label:"threads" ~columns:s.X.columns
       ~rows:(X.fairness_rows s)
-  end
+  end;
+  s
 
 let fig_cmd name which doc =
-  let run threads duration seed csv_dir =
-    run_figs ~which threads duration seed csv_dir
+  let run threads duration seed csv_dir trace emit =
+    let sink, finish, rollup = observe trace emit in
+    let s = run_figs ~which ~sink ~rollup threads duration seed csv_dir in
+    finish ();
+    emit_artifact emit ~seed [ ("lbench", s) ]
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run
       $ threads_arg ~default:default_threads
-      $ duration_arg $ seed_arg $ csv_dir_arg)
+      $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg)
 
 let fig6_cmd =
-  let run threads duration seed patience csv_dir =
+  let run threads duration seed patience csv_dir trace emit =
     banner duration seed;
     let duration = duration * 1_000_000 in
+    let sink, finish, rollup = observe trace emit in
     let s =
-      X.abortable_sweep ~topology ~threads ~duration ~seed
+      X.abortable_sweep
+        ~locks:(List.map (LR.with_trace_abortable sink) LR.abortable_locks)
+        ~rollup ~topology ~threads ~duration ~seed
         ~patience:(patience * 1_000) ()
     in
     X.print_fig6 s;
     maybe_csv csv_dir "fig6" ~x_label:"threads" ~columns:s.X.columns
-      ~rows:(X.throughput_rows s)
+      ~rows:(X.throughput_rows s);
+    finish ();
+    emit_artifact emit ~seed [ ("lbench-abortable", s) ]
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Abortable lock throughput (Figure 6).")
     Term.(
       const run
       $ threads_arg ~default:default_threads
-      $ duration_arg $ seed_arg $ patience_arg $ csv_dir_arg)
+      $ duration_arg $ seed_arg $ patience_arg $ csv_dir_arg $ trace_arg
+      $ emit_arg)
 
 let table1_cmd =
-  let run threads duration seed mixes csv_dir =
+  let run threads duration seed mixes csv_dir trace =
     banner duration seed;
     let duration = duration * 1_000_000 in
+    let sink, finish, _ = observe trace None in
+    let locks = List.map (LR.with_trace sink) LR.app_locks in
     List.iter
       (fun mix ->
-        let t = X.table1 ~topology ~threads ~duration ~seed ~mix () in
+        let t = X.table1 ~locks ~topology ~threads ~duration ~seed ~mix () in
         X.print_table t;
         maybe_csv csv_dir
           (Printf.sprintf "table1_%.0fpct_sets" (mix.W.set_ratio *. 100.))
           ~x_label:"threads" ~columns:t.X.t_columns ~rows:t.X.t_rows)
-      mixes
+      mixes;
+    finish ()
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"memcached-style KV store speedups (Table 1).")
     Term.(
       const run
       $ threads_arg ~default:default_app_threads
-      $ duration_arg $ seed_arg $ mix_arg $ csv_dir_arg)
+      $ duration_arg $ seed_arg $ mix_arg $ csv_dir_arg $ trace_arg)
 
 let table2_cmd =
-  let run threads duration seed csv_dir =
+  let run threads duration seed csv_dir trace =
     banner duration seed;
     let duration = duration * 1_000_000 in
-    let t = X.table2 ~topology ~threads ~duration ~seed () in
+    let sink, finish, _ = observe trace None in
+    let locks = List.map (LR.with_trace sink) LR.app_locks in
+    let t = X.table2 ~locks ~topology ~threads ~duration ~seed () in
     X.print_table t;
     maybe_csv csv_dir "table2" ~x_label:"threads" ~columns:t.X.t_columns
-      ~rows:t.X.t_rows
+      ~rows:t.X.t_rows;
+    finish ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Allocator stress, malloc-free pairs/ms (Table 2).")
     Term.(
       const run
       $ threads_arg ~default:[ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
-      $ duration_arg $ seed_arg $ csv_dir_arg)
+      $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg)
 
 let ablation_handoff_cmd =
   let run n duration seed =
@@ -304,13 +386,18 @@ let ablation_hbo_cmd =
     Term.(const run $ duration_arg $ seed_arg)
 
 let all_cmd =
-  let run duration seed csv_dir =
+  let run duration seed csv_dir trace emit =
     banner duration seed;
-    run_figs ~which:[ `F2; `F3; `F4; `F5 ] default_threads duration seed
-      csv_dir;
+    let sink, finish, rollup = observe trace emit in
+    let sweep =
+      run_figs ~which:[ `F2; `F3; `F4; `F5 ] ~sink ~rollup default_threads
+        duration seed csv_dir
+    in
     let d = duration * 1_000_000 in
     let s =
-      X.abortable_sweep ~topology ~threads:default_threads ~duration:d ~seed
+      X.abortable_sweep
+        ~locks:(List.map (LR.with_trace_abortable sink) LR.abortable_locks)
+        ~rollup ~topology ~threads:default_threads ~duration:d ~seed
         ~patience:2_000_000 ()
     in
     X.print_fig6 s;
@@ -331,11 +418,14 @@ let all_cmd =
     X.print_table (X.extension_rw ~topology ~n_threads:64 ~duration:d ~seed ());
     X.print_table (X.extension_bimodal ~topology ~n_threads:32 ~duration:d ~seed ());
     X.print_table (X.topology_sensitivity ~n_threads:64 ~duration:d ~seed ());
-    X.print_table (X.composition_matrix ~topology ~n_threads:64 ~duration:d ~seed ())
+    X.print_table (X.composition_matrix ~topology ~n_threads:64 ~duration:d ~seed ());
+    finish ();
+    emit_artifact emit ~seed [ ("lbench", sweep); ("lbench-abortable", s) ]
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every figure and table.")
-    Term.(const run $ duration_arg $ seed_arg $ csv_dir_arg)
+    Term.(
+      const run $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg)
 
 let () =
   let cmds =

@@ -19,6 +19,7 @@
 module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
 struct
   module LI = Cohort.Lock_intf
+  module I = Cohort.Instr.Make (M)
   module Q = Cohort.Mcs_lock.Make (M)
 
   (* Request slot states. *)
@@ -34,9 +35,20 @@ struct
     combiner : int M.cell;
   }
 
-  type t = { clusters : cluster_state array; gtail : Q.node option M.cell }
+  type t = {
+    clusters : cluster_state array;
+    gtail : Q.node option M.cell;
+    cfg : LI.config;
+  }
 
-  type thread = { l : t; cs : cluster_state; slot : slot }
+  type thread = {
+    l : t;
+    cs : cluster_state;
+    slot : slot;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+  }
 
   let name = "FC-MCS"
 
@@ -58,15 +70,16 @@ struct
               combiner = M.cell' 0;
             });
       gtail = M.cell' ~name:"fcmcs.gtail" None;
+      cfg;
     }
 
-  let register l ~tid:_ ~cluster =
+  let register l ~tid ~cluster =
     let cs = l.clusters.(cluster) in
     let i = !(cs.n_slots) in
     if i >= Array.length cs.slots then
       invalid_arg "Fc_mcs.register: more threads than config.max_threads";
     incr cs.n_slots;
-    { l; cs; slot = cs.slots.(i) }
+    { l; cs; slot = cs.slots.(i); tid; cluster; tr = l.cfg.LI.trace }
 
   (* Collect every posted request (ours included) into an MCS chain and
      splice it into the global queue. *)
@@ -141,9 +154,11 @@ struct
       ignore
         (M.wait_until th.slot.node.Q.nstate (fun s -> s = Q.ngranted_local));
       M.write th.slot.rstate idle
-    end
+    end;
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
   let release th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
     let n = th.slot.node in
     match M.read n.Q.next with
     | Some s -> M.write s.Q.nstate Q.ngranted_local

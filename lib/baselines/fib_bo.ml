@@ -6,19 +6,30 @@
 module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
 struct
   module LI = Cohort.Lock_intf
+  module I = Cohort.Instr.Make (M)
 
   type t = { state : int M.cell; cfg : LI.config }
-  type thread = { l : t; back : Cohort.Backoff.t }
+
+  type thread = {
+    l : t;
+    back : Cohort.Backoff.t;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+  }
 
   let name = "Fib-BO"
   let create cfg = { state = M.cell' ~name:"fibbo.state" 0; cfg }
 
-  let register l ~tid ~cluster:_ =
+  let register l ~tid ~cluster =
     {
       l;
       back =
         Cohort.Backoff.make ~policy:Cohort.Backoff.Fibonacci
           ~min:l.cfg.LI.bo_min ~max:l.cfg.LI.bo_max ~salt:tid ();
+      tid;
+      cluster;
+      tr = l.cfg.LI.trace;
     }
 
   let acquire th =
@@ -31,7 +42,10 @@ struct
         loop ()
       end
     in
-    loop ()
+    loop ();
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
-  let release th = M.write th.l.state 0
+  let release th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
+    M.write th.l.state 0
 end

@@ -16,6 +16,7 @@
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
   module LI = Cohort.Lock_intf
+  module I = Cohort.Instr.Make (M)
 
   let free = -1
 
@@ -23,7 +24,9 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
 
   type thread = {
     l : t;
+    tid : int;
     cluster : int;
+    tr : Numa_trace.Sink.t;
     local_back : Cohort.Backoff.t;
     remote_back : Cohort.Backoff.t;
   }
@@ -32,7 +35,9 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
     let cfg = l.cfg in
     {
       l;
+      tid;
       cluster;
+      tr = cfg.LI.trace;
       local_back =
         Cohort.Backoff.make ~min:cfg.LI.hbo_local_min ~max:cfg.LI.hbo_local_max
           ~salt:tid ();
@@ -70,9 +75,14 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
 
     let acquire th =
       let rec loop () = if not (attempt th) then loop () in
-      loop ()
+      loop ();
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Acquire_global
 
-    let release th = M.write th.l.state free
+    let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_global;
+      M.write th.l.state free
   end
 
   module Abortable : LI.ABORTABLE_LOCK with type t = t and type thread = thread = struct
@@ -93,8 +103,15 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
         else if M.now () >= deadline then false
         else loop ()
       in
-      loop ()
+      let won = loop () in
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        (if won then Numa_trace.Event.Acquire_global
+         else Numa_trace.Event.Abort);
+      won
 
-    let release th = M.write th.l.state free
+    let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_global;
+      M.write th.l.state free
   end
 end

@@ -26,6 +26,7 @@
 module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
 struct
   module LI = Cohort.Lock_intf
+  module I = Cohort.Instr.Make (M)
 
   type word = { smw : bool; tws : bool }
   (* successor_must_wait, tail_when_spliced; fresh box per transition so
@@ -50,9 +51,16 @@ struct
   type t = {
     ltails : node option M.cell array;
     gtail : node M.cell;
+    cfg : LI.config;
   }
 
-  type thread = { l : t; cluster : int; mutable my : node }
+  type thread = {
+    l : t;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+    mutable my : node;
+  }
 
   let name = "HCLH-full"
 
@@ -62,10 +70,17 @@ struct
         Array.init cfg.LI.clusters (fun i ->
             M.cell' ~name:(Printf.sprintf "hclhf.ltail.%d" i) None);
       gtail = M.cell' ~name:"hclhf.gtail" (make_node { smw = false; tws = false });
+      cfg;
     }
 
-  let register l ~tid:_ ~cluster =
-    { l; cluster; my = make_node { smw = false; tws = false } }
+  let register l ~tid ~cluster =
+    {
+      l;
+      tid;
+      cluster;
+      tr = l.cfg.LI.trace;
+      my = make_node { smw = false; tws = false };
+    }
 
   let acquire th =
     let n = make_node { smw = true; tws = false } in
@@ -80,15 +95,22 @@ struct
       in
       let gpred = M.swap th.l.gtail batch_tail in
       set_tws batch_tail;
-      ignore (M.wait_until gpred.w (fun s -> not s.smw))
+      ignore (M.wait_until gpred.w (fun s -> not s.smw));
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Acquire_global
     in
     match M.swap ltail (Some n) with
     | None -> become_master ()
     | Some pred ->
         let s = M.wait_until pred.w (fun s -> s.tws || not s.smw) in
         if s.tws then become_master ()
-    (* else: the predecessor was in our batch and released — we own the
-       lock (its smw cleared). *)
+        else
+          (* The predecessor was in our batch and released — we own the
+             lock (its smw cleared). *)
+          I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+            Numa_trace.Event.Acquire_local
 
-  let release th = clear_smw th.my
+  let release th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
+    clear_smw th.my
 end

@@ -21,6 +21,7 @@
 module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
 struct
   module LI = Cohort.Lock_intf
+  module I = Cohort.Instr.Make (M)
 
   type node = { granted : bool M.cell }
 
@@ -37,7 +38,13 @@ struct
     cfg : LI.config;
   }
 
-  type thread = { l : t; cluster : int; mutable my : node }
+  type thread = {
+    l : t;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+    mutable my : node;
+  }
 
   let name = "HCLH"
 
@@ -53,7 +60,8 @@ struct
       cfg;
     }
 
-  let register l ~tid:_ ~cluster = { l; cluster; my = make_node false }
+  let register l ~tid ~cluster =
+    { l; tid; cluster; tr = l.cfg.LI.trace; my = make_node false }
 
   let acquire th =
     let n = make_node false in
@@ -68,7 +76,9 @@ struct
     | Some p ->
         (* Batch member: our predecessor is in the same (eventual) batch;
            its release grants us the lock. *)
-        ignore (M.wait_until p.granted (fun g -> g))
+        ignore (M.wait_until p.granted (fun g -> g));
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Acquire_local
     | None ->
         (* Cluster master: optionally wait out a combining window so a
            cohort can gather behind us, then close the local queue, splice
@@ -85,7 +95,11 @@ struct
           | None -> assert false (* at least our own node is enqueued *)
         in
         let gpred = M.swap th.l.gtail batch_tail in
-        ignore (M.wait_until gpred.granted (fun g -> g))
+        ignore (M.wait_until gpred.granted (fun g -> g));
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Acquire_global
 
-  let release th = M.write th.my.granted true
+  let release th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
+    M.write th.my.granted true
 end

@@ -11,6 +11,8 @@
 
 module Make (M : Numa_base.Memory_intf.MEMORY) : Cohort.Lock_intf.LOCK =
 struct
+  module I = Cohort.Instr.Make (M)
+
   let free = 0
   let locked = 1
   let contended = 2
@@ -19,12 +21,20 @@ struct
   let adaptive_spin = 4_000 (* ns: spin before parking (adaptive mutex) *)
   let spin_pause = 400 (* ns between CAS retries while spinning *)
 
-  type t = { state : int M.cell }
-  type thread = { l : t }
+  type t = { state : int M.cell; cfg : Cohort.Lock_intf.config }
+
+  type thread = {
+    l : t;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+  }
 
   let name = "pthread"
-  let create _cfg = { state = M.cell' ~name:"pthread.state" free }
-  let register l ~tid:_ ~cluster:_ = { l }
+  let create cfg = { state = M.cell' ~name:"pthread.state" free; cfg }
+
+  let register l ~tid ~cluster =
+    { l; tid; cluster; tr = l.cfg.Cohort.Lock_intf.trace }
 
   let acquire th =
     let state = th.l.state in
@@ -65,7 +75,10 @@ struct
         in
         slow ()
       end
-    end
+    end;
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
-  let release th = ignore (M.swap th.l.state free)
+  let release th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
+    ignore (M.swap th.l.state free)
 end

@@ -22,6 +22,8 @@
 
 module Make (M : Numa_base.Memory_intf.MEMORY) : Lock_intf.ABORTABLE_LOCK =
 struct
+  module I = Instr.Make (M)
+
   (* The lock word: a fresh box per transition (see above). *)
   type lword = { ls : int }
 
@@ -42,7 +44,14 @@ struct
     locals : cluster_state array;
   }
 
-  type thread = { l : t; cs : cluster_state; back : Backoff.t }
+  type thread = {
+    l : t;
+    cs : cluster_state;
+    back : Backoff.t;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
+  }
 
   let name = "A-C-BO-BO"
 
@@ -67,11 +76,15 @@ struct
       back =
         Backoff.make ~min:l.cfg.Lock_intf.bo_min ~max:l.cfg.Lock_intf.bo_max
           ~salt:tid ();
+      tid;
+      cluster;
+      tr = l.cfg.Lock_intf.trace;
     }
 
   (* Release the cohort lock globally: global first, then local, as in
      the non-abortable transformation. *)
   let release_globally th =
+    I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
     M.write th.cs.count 0;
     M.write th.l.gstate free_global;
     M.write th.cs.state (mk free_global)
@@ -134,22 +147,34 @@ struct
   let try_acquire th ~patience =
     let deadline = M.now () + patience in
     match local_try_acquire th ~deadline with
-    | None -> false
-    | Some s when s = free_local -> true (* inherited the global lock *)
+    | None ->
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Abort;
+        false
+    | Some s when s = free_local ->
+        (* inherited the global lock *)
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Acquire_local;
+        true
     | Some _ ->
-        if global_try_acquire th ~deadline then true
+        if global_try_acquire th ~deadline then begin
+          I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+            Numa_trace.Event.Acquire_global;
+          true
+        end
         else begin
           (* Undo: we hold only the local lock and the global lock is not
              ours; publish release-global so the next local acquirer goes
              to the global lock itself. *)
           M.write th.cs.state (mk free_global);
+          I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Abort;
           false
         end
 
   let release th =
     let cs = th.cs in
     let c = M.read cs.count in
-    if c < th.l.cfg.Lock_intf.max_local_handoffs && M.read cs.succ_exists then begin
+    let pass = c < th.l.cfg.Lock_intf.max_local_handoffs in
+    if pass && M.read cs.succ_exists then begin
       M.write cs.count (c + 1);
       let handoff = mk free_local in
       M.write cs.state handoff;
@@ -163,8 +188,18 @@ struct
         && M.cas cs.state ~expect:handoff ~desire:(mk free_global)
       then begin
         M.write cs.count 0;
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Handoff_global;
         M.write th.l.gstate free_global
       end
+      else
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Handoff_within_cohort
     end
-    else release_globally th
+    else begin
+      if not pass then
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Starvation_limit_hit;
+      release_globally th
+    end
 end

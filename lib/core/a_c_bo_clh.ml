@@ -25,6 +25,8 @@
 
 module Make (M : Numa_base.Memory_intf.MEMORY) : Lock_intf.ABORTABLE_LOCK =
 struct
+  module I = Instr.Make (M)
+
   type wstate =
     | Busy
     | Release_local
@@ -51,6 +53,9 @@ struct
     cs : cluster_state;
     back : Backoff.t;
     mutable cur : anode;  (* our node while we hold the lock *)
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
   }
 
   let name = "A-C-BO-CLH"
@@ -77,6 +82,9 @@ struct
         Backoff.make ~min:l.cfg.Lock_intf.bo_min ~max:l.cfg.Lock_intf.bo_max
           ~salt:tid ();
       cur = make_node Release_global;
+      tid;
+      cluster;
+      tr = l.cfg.Lock_intf.trace;
     }
 
   let global_try_acquire th ~deadline =
@@ -107,15 +115,20 @@ struct
     let take_global () =
       if global_try_acquire th ~deadline then begin
         th.cur <- n;
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Acquire_global;
         true
       end
       else begin
         M.write n.w { wst = Release_global; wsa = false };
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Abort;
         false
       end
     in
     let take_local () =
       th.cur <- n;
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Acquire_local;
       true
     in
     let rec watch pred =
@@ -145,6 +158,7 @@ struct
           if M.cas pred.w ~expect:wv ~desire:{ wst = Busy; wsa = true } then begin
             (* Predecessor warned; make it explicit for our successor. *)
             M.write n.w { wst = Aborted_to pred; wsa = false };
+            I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Abort;
             false
           end
           else
@@ -157,6 +171,8 @@ struct
     let n = th.cur in
     let cs = th.cs in
     let release_global () =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_global;
       M.write cs.count 0;
       M.write th.l.gstate gfree;
       M.write n.w { wst = Release_global; wsa = false }
@@ -164,14 +180,17 @@ struct
     let c = M.read cs.count in
     let wv = M.read n.w in
     let has_cohort = M.read cs.ltail != n in
-    if
-      c < th.l.cfg.Lock_intf.max_local_handoffs
-      && has_cohort
-      && (not wv.wsa)
-      && wv.wst = Busy
-    then begin
+    let pass = c < th.l.cfg.Lock_intf.max_local_handoffs in
+    if not pass then
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Starvation_limit_hit;
+    if pass && has_cohort && (not wv.wsa) && wv.wst = Busy then begin
       if M.cas n.w ~expect:wv ~desire:{ wst = Release_local; wsa = false }
-      then M.write cs.count (c + 1)
+      then begin
+        M.write cs.count (c + 1);
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Handoff_within_cohort
+      end
       else
         (* Our successor aborted between the read and the CAS. *)
         release_global ()

@@ -9,6 +9,8 @@
     pools in the C original). *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module I = Instr.Make (M)
+
   type state =
     | Waiting  (** the owner of this node has not released. *)
     | Granted  (** the owner released: its successor holds the lock. *)
@@ -19,12 +21,23 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
   let make_node v = { ast = M.cell (M.line ~name:"aclh.node" ()) v }
 
   module Abortable : Lock_intf.ABORTABLE_LOCK = struct
-    type t = { tail : node M.cell }
-    type thread = { l : t; mutable cur : node }
+    type t = { tail : node M.cell; cfg : Lock_intf.config }
+
+    type thread = {
+      l : t;
+      mutable cur : node;
+      tid : int;
+      cluster : int;
+      tr : Numa_trace.Sink.t;
+    }
 
     let name = "A-CLH"
-    let create _cfg = { tail = M.cell' ~name:"aclh.tail" (make_node Granted) }
-    let register l ~tid:_ ~cluster:_ = { l; cur = make_node Granted }
+
+    let create cfg =
+      { tail = M.cell' ~name:"aclh.tail" (make_node Granted); cfg }
+
+    let register l ~tid ~cluster =
+      { l; cur = make_node Granted; tid; cluster; tr = l.cfg.Lock_intf.trace }
 
     let try_acquire th ~patience =
       let deadline = M.now () + patience in
@@ -41,6 +54,8 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           with
           | Some Granted ->
               th.cur <- n;
+              I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+                Numa_trace.Event.Acquire_global;
               true
           | Some (Aborted_to p) -> watch p
           | Some Waiting -> assert false
@@ -51,6 +66,8 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
         match M.read pred.ast with
         | Granted ->
             th.cur <- n;
+            I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+              Numa_trace.Event.Acquire_global;
             true
         | Aborted_to p -> abort p
         | Waiting ->
@@ -58,10 +75,14 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
                the grant, when it comes, persists on [pred] and will be
                claimed by whoever unwinds to it. *)
             M.write n.ast (Aborted_to pred);
+            I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Abort;
             false
       in
       watch pred0
 
-    let release th = M.write th.cur.ast Granted
+    let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_global;
+      M.write th.cur.ast Granted
   end
 end

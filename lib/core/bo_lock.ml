@@ -13,6 +13,8 @@
       (the line is only contended intra-cluster). *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module I = Instr.Make (M)
+
   (* Lock-word states. [free_global] doubles as the plain lock's
      "unlocked" state. *)
   let free_global = 0
@@ -21,17 +23,27 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
 
   module Plain : Lock_intf.LOCK = struct
     type t = { state : int M.cell; cfg : Lock_intf.config }
-    type thread = { l : t; back : Backoff.t }
+
+    type thread = {
+      l : t;
+      back : Backoff.t;
+      tid : int;
+      cluster : int;
+      tr : Numa_trace.Sink.t;
+    }
 
     let name = "BO"
     let create cfg = { state = M.cell' ~name:"bo.state" free_global; cfg }
 
-    let register l ~tid ~cluster:_ =
+    let register l ~tid ~cluster =
       {
         l;
         back =
           Backoff.make ~min:l.cfg.Lock_intf.bo_min ~max:l.cfg.Lock_intf.bo_max
             ~salt:tid ();
+        tid;
+        cluster;
+        tr = l.cfg.Lock_intf.trace;
       }
 
     let acquire th =
@@ -45,9 +57,12 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           loop ()
         end
       in
-      loop ()
+      loop ();
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
-    let release th = M.write th.l.state free_global
+    let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
+      M.write th.l.state free_global
   end
 
   module Global : Lock_intf.GLOBAL = struct

@@ -7,29 +7,49 @@
     substrate of the hierarchical HCLH lock. *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module I = Instr.Make (M)
+
   type node = { locked : bool M.cell }
 
   let make_node v = { locked = M.cell (M.line ~name:"clh.node" ()) v }
 
   module Plain : Lock_intf.LOCK = struct
-    type t = { tail : node M.cell }
+    type t = { tail : node M.cell; cfg : Lock_intf.config }
 
-    type thread = { l : t; mutable my : node; mutable pred : node }
+    type thread = {
+      l : t;
+      mutable my : node;
+      mutable pred : node;
+      tid : int;
+      cluster : int;
+      tr : Numa_trace.Sink.t;
+    }
 
     let name = "CLH"
-    let create _cfg = { tail = M.cell' ~name:"clh.tail" (make_node false) }
 
-    let register l ~tid:_ ~cluster:_ =
-      { l; my = make_node false; pred = make_node false }
+    let create cfg =
+      { tail = M.cell' ~name:"clh.tail" (make_node false); cfg }
+
+    let register l ~tid ~cluster =
+      {
+        l;
+        my = make_node false;
+        pred = make_node false;
+        tid;
+        cluster;
+        tr = l.cfg.Lock_intf.trace;
+      }
 
     let acquire th =
       let n = th.my in
       M.write n.locked true;
       let p = M.swap th.l.tail n in
       th.pred <- p;
-      ignore (M.wait_until p.locked (fun v -> not v))
+      ignore (M.wait_until p.locked (fun v -> not v));
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
     let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
       M.write th.my.locked false;
       (* Steal the predecessor's node: ours is still being watched. *)
       th.my <- th.pred

@@ -28,6 +28,8 @@ module Make
     (M : Numa_base.Memory_intf.MEMORY)
     (G : Lock_intf.GLOBAL)
     (L : Lock_intf.LOCAL) : Lock_intf.COHORT_LOCK = struct
+  module I = Instr.Make (M)
+
   type t = {
     cfg : Lock_intf.config;
     global : G.t;
@@ -47,6 +49,9 @@ module Make
     lt : L.thread;
     count : int M.cell;
     since : int M.cell;
+    tid : int;
+    cluster : int;
+    tr : Numa_trace.Sink.t;
   }
 
   let name = Name.name
@@ -90,17 +95,23 @@ module Make
       lt = L.register l.locals.(cluster) ~tid ~cluster;
       count = l.counts.(cluster);
       since = l.held_since.(cluster);
+      tid;
+      cluster;
+      tr = l.cfg.Lock_intf.trace;
     }
 
   let acquire th =
     match L.acquire th.lt with
-    | Lock_intf.Local_release -> ()
+    | Lock_intf.Local_release ->
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_local
     | Lock_intf.Global_release ->
         G.acquire th.gt;
         (match th.l.cfg.Lock_intf.handoff_policy with
         | Lock_intf.Timed _ | Lock_intf.Counted_or_timed _ ->
             M.write th.since (M.now ())
-        | Lock_intf.Counted | Lock_intf.Unbounded -> ())
+        | Lock_intf.Counted | Lock_intf.Unbounded -> ());
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Acquire_global
 
   (* The may-pass-local predicate: may this release stay within the
      cohort, given [c] consecutive local handoffs so far? *)
@@ -117,18 +128,29 @@ module Make
   let release th =
     let st = th.l.st in
     let c = M.read th.count in
-    if may_pass_local th c && not (L.alone th.lt) then begin
+    let pass = may_pass_local th c in
+    if pass && not (L.alone th.lt) then begin
       M.write th.count (c + 1);
       st.Lock_intf.local_handoffs <- st.Lock_intf.local_handoffs + 1;
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_within_cohort;
       L.release th.lt Lock_intf.Local_release
     end
     else begin
+      if not pass then
+        (* The may-pass-local predicate denied a within-cohort handoff:
+           the starvation bound (count or time budget) forced this
+           global release. *)
+        I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+          Numa_trace.Event.Starvation_limit_hit;
       M.write th.count 0;
       let batch = c + 1 in
       st.Lock_intf.global_releases <- st.Lock_intf.global_releases + 1;
       st.Lock_intf.batch_count <- st.Lock_intf.batch_count + 1;
       st.Lock_intf.batch_total <- st.Lock_intf.batch_total + batch;
       if batch > st.Lock_intf.batch_max then st.Lock_intf.batch_max <- batch;
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster
+        Numa_trace.Event.Handoff_global;
       G.release th.gt;
       L.release th.lt Lock_intf.Global_release
     end

@@ -1,0 +1,13 @@
+(** Shared instrumentation shim: one guarded emit per lock event.
+
+    The [Sink.enabled] branch keeps the [M.now] read and the event
+    allocation off the untraced path entirely; and because the
+    simulator's [Now] effect schedules no event, even enabled tracing
+    charges no simulated time — a traced run produces bit-identical lock
+    behaviour to an untraced one. *)
+
+module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  let emit tr ~tid ~cluster kind =
+    if Numa_trace.Sink.enabled tr then
+      Numa_trace.Sink.record tr ~at:(M.now ()) ~tid ~cluster kind
+end

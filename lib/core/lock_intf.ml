@@ -45,6 +45,12 @@ type config = {
   hbo_remote_min : int;  (** HBO backoff when the holder is remote, ns. *)
   hbo_remote_max : int;
   hclh_window : int;  (** HCLH master combining window, ns. *)
+  trace : Numa_trace.Sink.t;
+      (** where instrumented locks emit {!Numa_trace.Event} records.
+          [Sink.noop] (the default) disables tracing: instrumentation
+          sites branch on [Sink.enabled] and perform no clock read, no
+          allocation and no memory operation, so untraced behaviour —
+          including every golden pin — is unchanged. *)
 }
 
 let default =
@@ -60,6 +66,7 @@ let default =
     hbo_remote_min = 800;
     hbo_remote_max = 50_000;
     hclh_window = 0;
+    trace = Numa_trace.Sink.noop;
   }
 
 (** A mutual-exclusion lock. [register] hands out a per-thread handle

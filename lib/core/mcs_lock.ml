@@ -16,6 +16,8 @@
       releases the global lock returns that node to its owner's pool. *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module I = Instr.Make (M)
+
   (* Node states. *)
   let nbusy = 0
   let ngranted_local = 1 (* doubles as "granted" for the plain lock *)
@@ -70,22 +72,33 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
         end
 
   module Plain : Lock_intf.LOCK = struct
-    type t = { tail : node option M.cell }
-    type thread = { l : t; node : node }
+    type t = { tail : node option M.cell; cfg : Lock_intf.config }
+
+    type thread = {
+      l : t;
+      node : node;
+      tid : int;
+      cluster : int;
+      tr : Numa_trace.Sink.t;
+    }
 
     let name = "MCS"
-    let create _cfg = { tail = M.cell' ~name:"mcs.tail" None }
-    let register l ~tid:_ ~cluster:_ = { l; node = make_node () }
+    let create cfg = { tail = M.cell' ~name:"mcs.tail" None; cfg }
+
+    let register l ~tid ~cluster =
+      { l; node = make_node (); tid; cluster; tr = l.cfg.Lock_intf.trace }
 
     let acquire th =
       let n = th.node in
-      match enqueue th.l.tail n with
+      (match enqueue th.l.tail n with
       | None -> ()
       | Some p ->
           M.write p.next (some n);
-          ignore (M.wait_until n.nstate (fun s -> s = ngranted_local))
+          ignore (M.wait_until n.nstate (fun s -> s = ngranted_local)));
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
     let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
       pass_or_close th.l.tail th.node ~code:ngranted_local ~may_close:true
   end
 

@@ -9,23 +9,34 @@
     by the thread that takes possession. *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module I = Instr.Make (M)
+
   module Plain : Lock_intf.LOCK = struct
-    type t = { request : int M.cell; grant : int M.cell }
-    type thread = { l : t }
+    type t = { request : int M.cell; grant : int M.cell; cfg : Lock_intf.config }
+
+    type thread = {
+      l : t;
+      tid : int;
+      cluster : int;
+      tr : Numa_trace.Sink.t;
+    }
 
     let name = "TKT"
 
-    let create _cfg =
+    let create cfg =
       let ln = M.line ~name:"tkt" () in
-      { request = M.cell ln 0; grant = M.cell ln 0 }
+      { request = M.cell ln 0; grant = M.cell ln 0; cfg }
 
-    let register l ~tid:_ ~cluster:_ = { l }
+    let register l ~tid ~cluster =
+      { l; tid; cluster; tr = l.cfg.Lock_intf.trace }
 
     let acquire th =
       let tkt = M.fetch_and_add th.l.request 1 in
-      ignore (M.wait_until th.l.grant (fun g -> g = tkt))
+      ignore (M.wait_until th.l.grant (fun g -> g = tkt));
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 
     let release th =
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Handoff_global;
       let g = M.read th.l.grant in
       M.write th.l.grant (g + 1)
   end

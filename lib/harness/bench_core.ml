@@ -16,6 +16,7 @@ type result = {
   acquire_p50 : float;
   acquire_p99 : float;
   acquire_max : float;
+  rollup : Numa_trace.Metrics.t option;
 }
 
 module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
@@ -63,6 +64,7 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
       acquire_p50 = pct 0.5;
       acquire_p99 = pct 0.99;
       acquire_max = float_of_int (Stats.Histogram.max_seen latencies);
+      rollup = None;
     }
 
   (* Body shared by the two entry points; instrumentation state is either
@@ -95,8 +97,35 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
 
   let non_cs_delay rng = Prng.int rng 4_000 (* idle spin of up to 4 us *)
 
-  let run ?name (module L : LI.LOCK) ~topology ~cfg ~n_threads ~duration ~seed
-      =
+  (* Rollup capture: tee a bounded ring into the lock's configured trace
+     sink for the duration of the run, then summarise the window. The
+     ring keeps the most recent [rollup_capacity] events, so on long runs
+     the rollup describes the steady-state tail, not the warm-up. *)
+  let rollup_capacity = 65_536
+
+  let with_rollup ~rollup cfg run =
+    if not rollup then run cfg
+    else begin
+      let ring = Numa_trace.Ring.create ~capacity:rollup_capacity in
+      let cfg =
+        {
+          cfg with
+          LI.trace =
+            Numa_trace.Sink.tee (Numa_trace.Ring.sink ring) cfg.LI.trace;
+        }
+      in
+      let res = run cfg in
+      let m =
+        Numa_trace.Metrics.of_events ~wait_p50:res.acquire_p50
+          ~wait_p99:res.acquire_p99
+          (Numa_trace.Ring.events ring)
+      in
+      { res with rollup = Some m }
+    end
+
+  let run ?name ?(rollup = false) (module L : LI.LOCK) ~topology ~cfg
+      ~n_threads ~duration ~seed =
+    with_rollup ~rollup cfg @@ fun cfg ->
     let l = L.create cfg in
     run_generic ~lock_name:(Option.value name ~default:L.name)
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts:_
@@ -121,8 +150,9 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
         loop ())
       ~topology ~n_threads ~duration ~seed
 
-  let run_abortable ?name (module L : LI.ABORTABLE_LOCK) ~topology ~cfg
-      ~n_threads ~duration ~seed ~patience =
+  let run_abortable ?name ?(rollup = false) (module L : LI.ABORTABLE_LOCK)
+      ~topology ~cfg ~n_threads ~duration ~seed ~patience =
+    with_rollup ~rollup cfg @@ fun cfg ->
     let l = L.create cfg in
     run_generic ~lock_name:(Option.value name ~default:L.name)
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts

@@ -33,11 +33,16 @@ type result = {
       (** 99th-percentile acquire latency, ns — tail waiting time, the
           per-acquisition face of the Figure 5 fairness story. *)
   acquire_max : float;
+  rollup : Numa_trace.Metrics.t option;
+      (** trace-derived per-lock metrics (migration rate, cohort batch
+          run lengths, hold-time quantiles); [Some] only when the run was
+          started with [~rollup:true]. *)
 }
 
 module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNTIME) : sig
   val run :
     ?name:string ->
+    ?rollup:bool ->
     (module Cohort.Lock_intf.LOCK) ->
     topology:Numa_base.Topology.t ->
     cfg:Cohort.Lock_intf.config ->
@@ -45,9 +50,14 @@ module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNT
     duration:int ->
     seed:int ->
     result
+  (** [~rollup:true] tees a bounded in-memory ring into [cfg.trace] for
+      the run and summarises the captured window into [result.rollup].
+      On the simulator this does not change lock behaviour (tracing is
+      free in simulated time). *)
 
   val run_abortable :
     ?name:string ->
+    ?rollup:bool ->
     (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
     topology:Numa_base.Topology.t ->
     cfg:Cohort.Lock_intf.config ->

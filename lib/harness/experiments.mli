@@ -18,16 +18,20 @@ val params_summary : topology:Numa_base.Topology.t -> duration:int -> seed:int -
 
 val microbench_sweep :
   ?locks:Lock_registry.entry list ->
+  ?rollup:bool ->
   topology:Numa_base.Topology.t ->
   threads:int list ->
   duration:int ->
   seed:int ->
   unit ->
   sweep
-(** The Figure 2/3/4/5 data: LBench for every (lock, thread-count). *)
+(** The Figure 2/3/4/5 data: LBench for every (lock, thread-count).
+    [~rollup:true] fills each cell's [result.rollup] with trace-derived
+    metrics (see {!Bench_core.Make.run}). *)
 
 val abortable_sweep :
   ?locks:Lock_registry.abortable_entry list ->
+  ?rollup:bool ->
   topology:Numa_base.Topology.t ->
   threads:int list ->
   duration:int ->

@@ -20,6 +20,7 @@ type result = Bench_core.result = {
   acquire_p50 : float;
   acquire_p99 : float;
   acquire_max : float;
+  rollup : Numa_trace.Metrics.t option;
 }
 
 let run = Core.run

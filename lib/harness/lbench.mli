@@ -29,10 +29,14 @@ type result = Bench_core.result = {
       (** 99th-percentile acquire latency, ns — tail waiting time, the
           per-acquisition face of the Figure 5 fairness story. *)
   acquire_max : float;
+  rollup : Numa_trace.Metrics.t option;
+      (** trace-derived per-lock metrics; [Some] only with
+          [~rollup:true]. *)
 }
 
 val run :
   ?name:string ->
+  ?rollup:bool ->
   (module Cohort.Lock_intf.LOCK) ->
   topology:Numa_base.Topology.t ->
   cfg:Cohort.Lock_intf.config ->
@@ -43,6 +47,7 @@ val run :
 
 val run_abortable :
   ?name:string ->
+  ?rollup:bool ->
   (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
   topology:Numa_base.Topology.t ->
   cfg:Cohort.Lock_intf.config ->

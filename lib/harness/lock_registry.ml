@@ -21,6 +21,15 @@ type abortable_entry = {
 
 let plain name lock = { name; lock; tweak = Fun.id }
 
+(* Route an entry's lock instances to a trace sink: composed after the
+   entry's own tweak so CLIs can turn tracing on without touching any
+   experiment signature. *)
+let with_trace tr e =
+  { e with tweak = (fun cfg -> { (e.tweak cfg) with LI.trace = tr }) }
+
+let with_trace_abortable tr e =
+  { e with a_tweak = (fun cfg -> { (e.a_tweak cfg) with LI.trace = tr }) }
+
 (* HBO backoff parameterisations. The defaults in [LI.default] are the
    microbenchmark tuning; the "tuned" preset suits the longer critical
    sections of memcached/malloc but over-sleeps elsewhere. *)

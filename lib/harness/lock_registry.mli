@@ -25,6 +25,13 @@ type abortable_entry = {
 val plain : string -> (module LI.LOCK) -> entry
 (** An entry with no config tweak. *)
 
+val with_trace : Numa_trace.Sink.t -> entry -> entry
+(** Route the entry's lock instances to a trace sink (composed after the
+    entry's own tweak), so CLIs can enable tracing without changing any
+    experiment signature. *)
+
+val with_trace_abortable : Numa_trace.Sink.t -> abortable_entry -> abortable_entry
+
 val hbo_micro : LI.config -> LI.config
 (** HBO backoff parameters tuned for the LBench microbenchmark (the
     paper's "HBO" column). *)

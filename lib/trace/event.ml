@@ -1,0 +1,39 @@
+type kind =
+  | Acquire_local
+  | Acquire_global
+  | Handoff_within_cohort
+  | Handoff_global
+  | Abort
+  | Starvation_limit_hit
+
+type t = { at : int; tid : int; cluster : int; kind : kind }
+
+let kind_to_string = function
+  | Acquire_local -> "acquire_local"
+  | Acquire_global -> "acquire_global"
+  | Handoff_within_cohort -> "handoff_within_cohort"
+  | Handoff_global -> "handoff_global"
+  | Abort -> "abort"
+  | Starvation_limit_hit -> "starvation_limit_hit"
+
+let kind_of_string = function
+  | "acquire_local" -> Some Acquire_local
+  | "acquire_global" -> Some Acquire_global
+  | "handoff_within_cohort" -> Some Handoff_within_cohort
+  | "handoff_global" -> Some Handoff_global
+  | "abort" -> Some Abort
+  | "starvation_limit_hit" -> Some Starvation_limit_hit
+  | _ -> None
+
+let is_acquire = function
+  | Acquire_local | Acquire_global -> true
+  | Handoff_within_cohort | Handoff_global | Abort | Starvation_limit_hit ->
+      false
+
+let is_release = function
+  | Handoff_within_cohort | Handoff_global -> true
+  | Acquire_local | Acquire_global | Abort | Starvation_limit_hit -> false
+
+let pp ppf e =
+  Format.fprintf ppf "[%d] t%d@@c%d %s" e.at e.tid e.cluster
+    (kind_to_string e.kind)

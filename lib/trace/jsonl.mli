@@ -1,0 +1,17 @@
+(** Streaming JSONL event sink ([--trace file.jsonl]): one compact JSON
+    object per event, written as events happen, so a trace survives a
+    crashed or interrupted run. A mutex serialises concurrent native
+    domains; on the simulator writes land in deterministic event order. *)
+
+val event_to_json : Event.t -> Json.t
+val event_of_json : Json.t -> (Event.t, string) result
+
+val to_channel : out_channel -> Sink.t
+(** The caller owns the channel; [Sink.close] only flushes. *)
+
+val to_file : string -> Sink.t
+(** Opens (truncates) [path]; [Sink.close] closes it. *)
+
+val read_file : string -> (Event.t list, string) result
+(** Parse a JSONL trace back, blank lines skipped — the round-trip used
+    by [test_trace] and any offline analysis. *)

@@ -1,0 +1,23 @@
+(** In-memory bounded event buffer: the capture sink for tests, metric
+    rollups and Chrome-trace export. Keeps the most recent [capacity]
+    events (older ones are overwritten — bounded memory under arbitrarily
+    long runs); a mutex makes pushes safe from concurrent native domains,
+    and under the simulator the push order is the deterministic
+    instrumentation order. *)
+
+type t
+
+val create : capacity:int -> t
+val sink : t -> Sink.t
+val push : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val pushed : t -> int
+(** Total events ever pushed (including overwritten ones). *)
+
+val dropped : t -> int
+(** [pushed - retained]: how many old events were overwritten. *)
+
+val length : t -> int

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Local CI gate — the single pre-PR entry point (see README "CI").
+#
+#   scripts/ci.sh            # from the repo root, or
+#   dune build @ci           # same pipeline, with build/test as alias deps
+#
+# Steps, failing on the first nonzero exit:
+#   1. tier-1: warning-clean build of everything + all test suites
+#   2. fixed-seed torture smoke (50 random schedules, seed 42)
+#   3. quick sim benchmark, emitting a cohort-bench JSON artifact
+#   4. determinism guard: re-run the same seed, byte-compare artifacts
+#   5. regression gate: bench_diff against the newest committed
+#      BENCH_*.json (>10% throughput drop on any entry fails)
+#
+# When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
+# and tests already ran as alias dependencies, and the executables are
+# invoked directly from the build context instead of through `dune exec`
+# (dune holds the build lock, so nested dune invocations would hang).
+set -euo pipefail
+
+if [[ -n "${INSIDE_DUNE:-}" ]]; then
+  torture() { bin/torture.exe "$@"; }
+  bench() { bench/main.exe "$@"; }
+  bench_diff() { bin/bench_diff.exe "$@"; }
+else
+  cd "$(dirname "$0")/.."
+  echo "== ci: dune build @check"
+  dune build @check
+  echo "== ci: dune runtest --force"
+  dune runtest --force
+  torture() { dune exec --no-build bin/torture.exe -- "$@"; }
+  bench() { dune exec --no-build bench/main.exe -- "$@"; }
+  bench_diff() { dune exec --no-build bin/bench_diff.exe -- "$@"; }
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== ci: torture smoke (50 schedules, seed 42)"
+torture 50 42
+
+echo "== ci: quick sim benchmark -> BENCH_head.json"
+bench quick --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"
+tail -n 3 "$tmp/bench1.log"
+
+echo "== ci: determinism guard (same-seed re-run, byte diff)"
+bench quick --emit-bench-json "$tmp/BENCH_head2.json" >"$tmp/bench2.log"
+if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
+  echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
+  echo "has picked up wall-clock or global-Random nondeterminism." >&2
+  exit 1
+fi
+echo "   artifacts byte-identical"
+
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [[ -n "$baseline" ]]; then
+  echo "== ci: regression gate vs committed $baseline"
+  bench_diff "$baseline" "$tmp/BENCH_head.json"
+else
+  echo "== ci: no committed BENCH_*.json yet; skipping regression gate"
+fi
+
+echo "== ci: OK"
