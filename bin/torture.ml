@@ -3,7 +3,7 @@
    policy, patience) at every lock in the registry and verifies mutual
    exclusion, full progress, and post-abort lock health on each.
 
-     dune exec bin/torture.exe -- [rounds] [seed] [--native]
+     dune exec bin/torture.exe -- [rounds] [seed] [--native] [--oracle]
 
    The campaign itself is substrate-generic (Harness.Torture_core); by
    default it drives simulated fibers, where every run is deterministic
@@ -11,13 +11,17 @@
    configuration. With --native the same campaign drives real domains
    (default rounds drop to 10: domains are heavily oversubscribed on this
    container, and native failures are probabilistic rather than
-   replayable). Exits non-zero on the first violation. *)
+   replayable). --oracle additionally enables the cohort-handoff-legality
+   and FIFO property oracles from Numa_check (sim only: they consume the
+   trace stream, which is serialised only on the deterministic runtime).
+   Exits non-zero on the first violation. *)
 
 module Sim_torture =
   Harness.Torture_core.Make (Numasim.Sim_mem) (Numasim.Sim_runtime)
 
 let () =
   let native = Array.exists (fun a -> a = "--native") Sys.argv in
+  let oracles = Array.exists (fun a -> a = "--oracle") Sys.argv in
   let positional =
     Array.to_list Sys.argv |> List.tl
     |> List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
@@ -30,14 +34,15 @@ let () =
   let seed = match positional with _ :: s :: _ -> int_of_string s | _ -> 1 in
   let log msg = Printf.printf "%s\n%!" msg in
   let failures =
-    if native then Harness.Native.Torture.campaign ~log ~rounds ~seed
-    else Sim_torture.campaign ~log ~rounds ~seed
+    if native then Harness.Native.Torture.campaign ~oracles ~log ~rounds ~seed ()
+    else Sim_torture.campaign ~oracles ~log ~rounds ~seed ()
   in
   let substrate = if native then "native domains" else "sim" in
+  let suffix = if oracles then " + oracles" else "" in
   if failures = 0 then begin
     Printf.printf
-      "torture (%s): %d rounds x (every lock pool + abortable) — all clean\n"
-      substrate rounds;
+      "torture (%s): %d rounds x (every lock pool + abortable)%s — all clean\n"
+      substrate rounds suffix;
     exit 0
   end
   else begin

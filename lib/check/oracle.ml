@@ -1,0 +1,169 @@
+module LI = Cohort.Lock_intf
+module Event = Numa_trace.Event
+module Sink = Numa_trace.Sink
+
+type checks = { me : bool; handoff : bool; fifo : bool }
+
+let me_only = { me = true; handoff = false; fifo = false }
+
+let fifo_locks = [ "TKT"; "MCS"; "CLH" ]
+
+let for_lock name =
+  {
+    me = true;
+    handoff = String.length name >= 2 && String.sub name 0 2 = "C-";
+    fifo = List.mem name fifo_locks;
+  }
+
+module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  type state = {
+    lock : string;
+    checks : checks;
+    owner : int Atomic.t;  (* holding tid; -1 = free *)
+    acquiring : bool array;  (* tid -> inside acquire *)
+    cluster_of : int array;  (* tid -> cluster (registration) *)
+    fifo_q : int Queue.t;  (* tids in queue-join order *)
+    mutable run : int;  (* consecutive local handoffs of current batch *)
+    limit : int option;  (* may-pass-local bound, when counted *)
+  }
+
+  (* Trace-stream checks. The handler runs at the emission site — host
+     code inside the same engine event as the emitting memory operation —
+     so under the simulator it observes states in linearisation order.
+     The [fifo] and [handoff] oracles rely on that serialisation and are
+     only meaningful on a deterministic runtime. *)
+  let on_event st (ev : Event.t) =
+    match ev.kind with
+    | Event.Enqueue -> if st.checks.fifo then Queue.push ev.tid st.fifo_q
+    | Event.Acquire_global | Event.Acquire_local ->
+        if st.checks.fifo then begin
+          (match Queue.take_opt st.fifo_q with
+          | Some head when head = ev.tid -> ()
+          | Some head ->
+              Violation.fail ~other:head ~lock:st.lock ~invariant:"fifo"
+                ~tid:ev.tid ~at:ev.at
+                (Printf.sprintf
+                   "t%d acquired but t%d joined the queue first" ev.tid head)
+          | None ->
+              Violation.fail ~lock:st.lock ~invariant:"fifo" ~tid:ev.tid
+                ~at:ev.at "acquire without a preceding enqueue");
+          ()
+        end;
+        if st.checks.handoff && ev.kind = Event.Acquire_global then st.run <- 0
+    | Event.Handoff_within_cohort ->
+        if st.checks.handoff then begin
+          (* Legality (a): someone from this cluster must be waiting.
+             Every waiter observable by a sound [alone?] is a thread
+             blocked inside [acquire], which the wrapper has marked. *)
+          let waiter_exists = ref false in
+          Array.iteri
+            (fun tid acq ->
+              if acq && tid <> ev.tid && st.cluster_of.(tid) = ev.cluster then
+                waiter_exists := true)
+            st.acquiring;
+          if not !waiter_exists then
+            Violation.fail ~lock:st.lock ~invariant:"cohort-handoff-empty"
+              ~tid:ev.tid ~at:ev.at
+              (Printf.sprintf
+                 "t%d handed off within cluster %d but no cohort thread is \
+                  acquiring"
+                 ev.tid ev.cluster);
+          (* Legality (b): the starvation limit bounds the batch. *)
+          st.run <- st.run + 1;
+          match st.limit with
+          | Some max when st.run > max ->
+              Violation.fail ~lock:st.lock ~invariant:"cohort-handoff-limit"
+                ~tid:ev.tid ~at:ev.at
+                (Printf.sprintf
+                   "%d consecutive local handoffs exceed the may-pass-local \
+                    bound %d"
+                   st.run max)
+          | _ -> ()
+        end
+    | Event.Handoff_global -> if st.checks.handoff then st.run <- 0
+    | Event.Abort | Event.Starvation_limit_hit -> ()
+
+  let wrap ?(checks = me_only) (module L : LI.LOCK) : (module LI.LOCK) =
+    let module C = struct
+      type t = { inner : L.t; st : state }
+
+      type thread = {
+        l : t;
+        th : L.thread;
+        tid : int;
+        mutable holds : bool;
+      }
+
+      let name = L.name ^ "+oracle"
+
+      let create cfg =
+        let st =
+          {
+            lock = L.name;
+            checks;
+            owner = Atomic.make (-1);
+            acquiring = Array.make cfg.LI.max_threads false;
+            cluster_of = Array.make cfg.LI.max_threads 0;
+            fifo_q = Queue.create ();
+            run = 0;
+            limit =
+              (match cfg.LI.handoff_policy with
+              | LI.Counted | LI.Counted_or_timed _ ->
+                  Some cfg.LI.max_local_handoffs
+              | LI.Timed _ | LI.Unbounded -> None);
+          }
+        in
+        let cfg =
+          if checks.handoff || checks.fifo then
+            {
+              cfg with
+              LI.trace = Sink.tee (Sink.make (on_event st)) cfg.LI.trace;
+            }
+          else cfg
+        in
+        { inner = L.create cfg; st }
+
+      let register l ~tid ~cluster =
+        if tid < Array.length l.st.cluster_of then
+          l.st.cluster_of.(tid) <- cluster;
+        { l; th = L.register l.inner ~tid ~cluster; tid; holds = false }
+
+      let acquire w =
+        let st = w.l.st in
+        if w.holds then
+          Violation.fail ~lock:st.lock ~invariant:"reentrant-acquire"
+            ~tid:w.tid ~at:(M.now ())
+            "acquire on a handle that already holds";
+        if w.tid < Array.length st.acquiring then
+          st.acquiring.(w.tid) <- true;
+        L.acquire w.th;
+        if st.checks.me then begin
+          let prev = Atomic.exchange st.owner w.tid in
+          if prev <> -1 then
+            Violation.fail ~other:prev ~lock:st.lock
+              ~invariant:"mutual-exclusion" ~tid:w.tid ~at:(M.now ())
+              (Printf.sprintf "t%d entered while t%d still holds" w.tid prev)
+        end;
+        if w.tid < Array.length st.acquiring then
+          st.acquiring.(w.tid) <- false;
+        w.holds <- true
+
+      let release w =
+        let st = w.l.st in
+        if not w.holds then
+          Violation.fail ~lock:st.lock ~invariant:"release-without-hold"
+            ~tid:w.tid ~at:(M.now ()) "release on a handle that does not hold";
+        w.holds <- false;
+        if st.checks.me then begin
+          if not (Atomic.compare_and_set st.owner w.tid (-1)) then
+            Violation.fail
+              ~other:(Atomic.get st.owner)
+              ~lock:st.lock ~invariant:"mutual-exclusion" ~tid:w.tid
+              ~at:(M.now ())
+              (Printf.sprintf "t%d releasing but owner is t%d" w.tid
+                 (Atomic.get st.owner))
+        end;
+        L.release w.th
+    end in
+    (module C)
+end

@@ -1,0 +1,27 @@
+type t = {
+  lock : string;
+  invariant : string;
+  tid : int;
+  other : int;
+  at : int;
+  detail : string;
+}
+
+exception Violation of t
+
+let make ?(other = -1) ~lock ~invariant ~tid ~at detail =
+  { lock; invariant; tid; other; at; detail }
+
+let fail ?other ~lock ~invariant ~tid ~at detail =
+  raise (Violation (make ?other ~lock ~invariant ~tid ~at detail))
+
+let to_string v =
+  let who =
+    if v.tid < 0 then ""
+    else if v.other < 0 then Printf.sprintf " by t%d" v.tid
+    else Printf.sprintf " by t%d (vs t%d)" v.tid v.other
+  in
+  Printf.sprintf "%s: %s violated%s at %dns — %s" v.lock v.invariant who v.at
+    v.detail
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -44,6 +44,8 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
       let n = th.my in
       M.write n.locked true;
       let p = M.swap th.l.tail n in
+      (* Tail swap = queue-join linearisation point (FIFO oracle). *)
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Enqueue;
       th.pred <- p;
       ignore (M.wait_until p.locked (fun v -> not v));
       I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global

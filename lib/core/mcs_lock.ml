@@ -90,7 +90,10 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
 
     let acquire th =
       let n = th.node in
-      (match enqueue th.l.tail n with
+      let p = enqueue th.l.tail n in
+      (* Tail swap = queue-join linearisation point (FIFO oracle). *)
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Enqueue;
+      (match p with
       | None -> ()
       | Some p ->
           M.write p.next (some n);

@@ -32,6 +32,9 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
 
     let acquire th =
       let tkt = M.fetch_and_add th.l.request 1 in
+      (* The FAA is the queue-join linearisation point; [Enqueue] lets
+         the FIFO oracle check acquire order against join order. *)
+      I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Enqueue;
       ignore (M.wait_until th.l.grant (fun g -> g = tkt));
       I.emit th.tr ~tid:th.tid ~cluster:th.cluster Numa_trace.Event.Acquire_global
 

@@ -1,52 +1,11 @@
-module LI = Cohort.Lock_intf
+(* The checker proper lives in [Numa_check.Oracle]; this module keeps the
+   harness-facing name and adds nothing but the historical exception
+   alias. *)
 
-exception Protocol_violation of string
+exception Protocol_violation = Numa_check.Violation.Violation
 
-(* The checker's state is host-side: [owner] is an [Atomic.t] so that the
-   acquired/released transitions are sound under native domains too (an
-   [exchange] that observes another holder is a definitive mutual-
-   exclusion failure, not a torn read). Under the simulator atomics are
-   ordinary host operations, so wrapping costs no simulated time. *)
-let wrap (module L : LI.LOCK) : (module LI.LOCK) =
-  let module C = struct
-    type t = { inner : L.t; owner : int Atomic.t (* tid; -1 = free *) }
-    type thread = { l : t; th : L.thread; tid : int; mutable holds : bool }
+module Make (M : Numa_base.Memory_intf.MEMORY) = struct
+  module O = Numa_check.Oracle.Make (M)
 
-    let name = L.name ^ "+check"
-    let create cfg = { inner = L.create cfg; owner = Atomic.make (-1) }
-
-    let register l ~tid ~cluster =
-      { l; th = L.register l.inner ~tid ~cluster; tid; holds = false }
-
-    let acquire w =
-      if w.holds then
-        raise
-          (Protocol_violation
-             (Printf.sprintf "%s: thread %d re-acquired a held handle" name
-                w.tid));
-      L.acquire w.th;
-      let prev = Atomic.exchange w.l.owner w.tid in
-      if prev <> -1 then
-        raise
-          (Protocol_violation
-             (Printf.sprintf
-                "%s: thread %d acquired while thread %d still holds — mutual \
-                 exclusion broken"
-                name w.tid prev));
-      w.holds <- true
-
-    let release w =
-      if not w.holds then
-        raise
-          (Protocol_violation
-             (Printf.sprintf "%s: thread %d released without holding" name
-                w.tid));
-      w.holds <- false;
-      if not (Atomic.compare_and_set w.l.owner w.tid (-1)) then
-        raise
-          (Protocol_violation
-             (Printf.sprintf "%s: thread %d released but owner is %d" name
-                w.tid (Atomic.get w.l.owner)));
-      L.release w.th
-  end in
-  (module C)
+  let wrap ?checks l = O.wrap ?checks l
+end

@@ -5,19 +5,28 @@
     protocol misuse into an immediate exception instead of a mysterious
     deadlock or safety violation.
 
-    The wrapper is substrate-generic: a [LOCK] module is already
-    substrate-neutral, and the checker's own state uses host [Atomic]s,
-    so the same [wrap] is sound on simulated fibers and on native
-    domains (and costs no simulated time under the simulator). Inside a
-    runtime-managed run, the raised violation surfaces as
+    This is a thin facade over {!Numa_check.Oracle}: violations carry a
+    structured {!Numa_check.Violation.t} naming the broken invariant and
+    the substrate timestamp, instead of a bare string. Pass [checks]
+    (e.g. {!Numa_check.Oracle.for_lock}) to also enable the
+    cohort-handoff and FIFO trace oracles — on a deterministic runtime
+    only; the default {!Numa_check.Oracle.me_only} is substrate-safe.
+    Inside a runtime-managed run the violation surfaces as
     [Runtime_intf.Thread_failure] carrying {!Protocol_violation}. *)
 
-exception Protocol_violation of string
+exception Protocol_violation of Numa_check.Violation.t
+(** Alias of {!Numa_check.Violation.Violation}: the two patterns match
+    the same exception. *)
 
-val wrap :
-  (module Cohort.Lock_intf.LOCK) -> (module Cohort.Lock_intf.LOCK)
-(** Violations raise {!Protocol_violation}:
-    - [release] on a handle that is not holding;
-    - [acquire] on a handle that already holds (no reentrancy);
-    - [acquire] or [release] observing another handle as holder (implies
-      a mutual-exclusion failure of the underlying lock). *)
+module Make (M : Numa_base.Memory_intf.MEMORY) : sig
+  val wrap :
+    ?checks:Numa_check.Oracle.checks ->
+    (module Cohort.Lock_intf.LOCK) ->
+    (module Cohort.Lock_intf.LOCK)
+  (** Violations raise {!Protocol_violation}:
+      - [release] on a handle that is not holding;
+      - [acquire] on a handle that already holds (no reentrancy);
+      - [acquire] or [release] observing another handle as holder
+        (a mutual-exclusion failure of the underlying lock);
+      - with [checks] extended: illegal cohort handoffs, FIFO breaks. *)
+end

@@ -40,6 +40,7 @@ let pp_case c =
 
 module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   module R = Lock_registry.Make (M)
+  module CL = Check_lock.Make (M)
 
   let topology_of c =
     Topology.make ~name:"torture" ~clusters:c.c_clusters ~threads_per_cluster:8
@@ -57,11 +58,20 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   (* Counters are host [Atomic]s: free in simulated time, and sound under
      native domains even when the lock under test is broken (which is
      precisely when they matter). *)
-  let run_case c =
+  let run_case ?(oracles = false) c =
     match R.find c.c_lock with
     | None -> Error (Printf.sprintf "unknown lock %S" c.c_lock)
     | Some e -> (
-        let module L = (val Check_lock.wrap e.Lock_registry.lock : LI.LOCK) in
+        (* The trace-stream oracles assume serialised emission, so they
+           are enabled only on the deterministic (simulated) runtime. *)
+        let checks =
+          if oracles && RT.deterministic then
+            Numa_check.Oracle.for_lock c.c_lock
+          else Numa_check.Oracle.me_only
+        in
+        let module L =
+          (val CL.wrap ~checks e.Lock_registry.lock : LI.LOCK)
+        in
         let topology = topology_of c in
         let cfg = config_of ~tweak:e.Lock_registry.tweak c in
         let l = L.create cfg in
@@ -95,8 +105,8 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
           else Ok ()
         with
         | Runtime_intf.Thread_failure
-            { exn = Check_lock.Protocol_violation msg; _ } ->
-            Error msg)
+            { exn = Check_lock.Protocol_violation v; _ } ->
+            Error (Numa_check.Violation.to_string v))
 
   let run_abortable_case c =
     let locks = R.abortable_locks in
@@ -141,12 +151,12 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   (* One campaign: [rounds] x (a random plain-lock case + a random
      abortable case), reporting failures to [log]. Returns the failure
      count. *)
-  let campaign ~log ~rounds ~seed =
+  let campaign ?(oracles = false) ~log ~rounds ~seed () =
     let rng = Prng.create seed in
     let failures = ref 0 in
     for round = 1 to rounds do
       let c = gen_case rng R.all_locks in
-      (match run_case c with
+      (match run_case ~oracles c with
       | Ok () -> ()
       | Error msg ->
           incr failures;

@@ -27,17 +27,24 @@ module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNT
   module R : Lock_registry.S
   (** The registry instance the campaign draws cases from. *)
 
-  val run_case : tcase -> (unit, string) result
+  val run_case : ?oracles:bool -> tcase -> (unit, string) result
   (** Run one plain-lock case (20 acquisitions per thread, checker
-      wrapped): [Error] carries the violation. *)
+      wrapped): [Error] carries the violation. [oracles] additionally
+      enables the {!Numa_check.Oracle} cohort-handoff-legality and FIFO
+      checks appropriate to the case's lock; they consume the trace
+      stream, so they engage only when [RT.deterministic] (no-op on the
+      native runtime). Default [false]. *)
 
   val run_abortable_case : tcase -> (unit, string) result
   (** Run one abortable case (the lock is picked from the abortable
       line-up by the case seed), including a post-abort-storm health
       check. *)
 
-  val campaign : log:(string -> unit) -> rounds:int -> seed:int -> int
-  (** [campaign ~log ~rounds ~seed] runs [rounds] x (one random plain
+  val campaign :
+    ?oracles:bool -> log:(string -> unit) -> rounds:int -> seed:int ->
+    unit -> int
+  (** [campaign ~log ~rounds ~seed ()] runs [rounds] x (one random plain
       case + one random abortable case) and returns the number of
-      failures, reporting each through [log]. *)
+      failures, reporting each through [log]. [oracles] as in
+      {!run_case}. *)
 end

@@ -30,6 +30,59 @@ type result = {
 exception Deadlock of { live : int; blocked : int; at : int }
 exception Thread_failure of { tid : int; exn : exn; backtrace : string }
 
+(* --- scheduling policy (schedule exploration) -------------------------- *)
+
+type ev_class =
+  | Start
+  | Op_read
+  | Op_write
+  | Op_rmw
+  | Spin_check
+  | Spin_wake
+  | Timeout
+  | Resume
+
+let class_to_string = function
+  | Start -> "start"
+  | Op_read -> "read"
+  | Op_write -> "write"
+  | Op_rmw -> "rmw"
+  | Spin_check -> "spin-check"
+  | Spin_wake -> "spin-wake"
+  | Timeout -> "timeout"
+  | Resume -> "resume"
+
+type candidate = {
+  c_time : int;
+  c_tid : int;
+  c_class : ev_class;
+  c_line : string;
+}
+
+type policy = step:int -> candidate array -> int
+
+(* A pending event in explore mode: the heap entry plus the decision
+   metadata a policy gets to see. *)
+type pend = {
+  pe_time : int;
+  pe_seq : int;
+  pe_tid : int;
+  pe_class : ev_class;
+  pe_line : Coherence.line;
+  pe_run : unit -> unit;
+}
+
+type explore_state = {
+  ex_policy : policy;
+  mutable ex_pending : pend list;
+  mutable ex_seq : int;
+  mutable ex_steps : int;
+}
+
+type mode =
+  | Heap of (unit -> unit) Event_heap.t
+  | Explore of explore_state
+
 type waiter = {
   mutable w_active : bool;
   w_untimed : bool;
@@ -38,7 +91,7 @@ type waiter = {
 
 type t = {
   topo : Topology.t;
-  heap : (unit -> unit) Event_heap.t;
+  mode : mode;
   mutable now : int;
   cstats : Coherence.stats;
   icx : Interconnect.t;
@@ -50,7 +103,30 @@ type t = {
 }
 
 let epoch_counter = Atomic.make 0
-let schedule eng time thunk = Event_heap.add eng.heap ~time thunk
+
+(* Engine-internal events (thread starts, pause expiries) touch no cache
+   line; this placeholder only feeds decision metadata. *)
+let no_line = Coherence.make_line ~name:"(engine)" ()
+
+(* The metadata arguments are immediates (or values already in hand), so
+   the default heap path allocates and branches exactly as before the
+   policy hook existed — golden schedules are preserved structurally, not
+   just by luck. *)
+let schedule eng ~tid ~cls ~line time thunk =
+  match eng.mode with
+  | Heap h -> Event_heap.add h ~time thunk
+  | Explore ex ->
+      ex.ex_pending <-
+        {
+          pe_time = time;
+          pe_seq = ex.ex_seq;
+          pe_tid = tid;
+          pe_class = cls;
+          pe_line = line;
+          pe_run = thunk;
+        }
+        :: ex.ex_pending;
+      ex.ex_seq <- ex.ex_seq + 1
 
 (* Charge a memory access: coherence latency plus interconnect queueing
    when the transaction crossed clusters. *)
@@ -105,7 +181,14 @@ let handler eng ~tid ~cluster =
             Some
               (fun (k : (b, unit) continuation) ->
                 let lat = access eng ~cluster ~thread:tid o.o_line o.o_kind in
-                schedule eng (eng.now + lat) (fun () ->
+                let cls =
+                  match o.o_kind with
+                  | Coherence.Read -> Op_read
+                  | Coherence.Write -> Op_write
+                  | Coherence.Rmw -> Op_rmw
+                in
+                schedule eng ~tid ~cls ~line:o.o_line (eng.now + lat)
+                  (fun () ->
                     let v = o.o_run () in
                     (match o.o_kind with
                     | Coherence.Read -> ()
@@ -142,7 +225,8 @@ let handler eng ~tid ~cluster =
                                 access eng ~cluster ~thread:tid d.w_line
                                   Coherence.Read
                               in
-                              schedule eng (eng.now + lat) attempt;
+                              schedule eng ~tid ~cls:Spin_wake ~line:d.w_line
+                                (eng.now + lat) attempt;
                               true);
                     }
                   in
@@ -159,7 +243,7 @@ let handler eng ~tid ~cluster =
                 in
                 Option.iter
                   (fun dl ->
-                    schedule eng
+                    schedule eng ~tid ~cls:Timeout ~line:d.w_line
                       (if dl > eng.now then dl else eng.now)
                       (fun () ->
                         if not !finished then begin
@@ -175,11 +259,14 @@ let handler eng ~tid ~cluster =
                 let lat =
                   access eng ~cluster ~thread:tid d.w_line Coherence.Read
                 in
-                schedule eng (eng.now + lat) attempt)
+                schedule eng ~tid ~cls:Spin_check ~line:d.w_line
+                  (eng.now + lat) attempt)
         | Pause d ->
             Some
               (fun (k : (b, unit) continuation) ->
-                schedule eng (eng.now + max 0 d) (fun () -> continue k ()))
+                schedule eng ~tid ~cls:Resume ~line:no_line
+                  (eng.now + max 0 d)
+                  (fun () -> continue k ()))
         | Now -> Some (fun (k : (b, unit) continuation) -> continue k eng.now)
         | Self ->
             Some
@@ -187,17 +274,74 @@ let handler eng ~tid ~cluster =
         | _ -> None);
   }
 
-let run ~topology ~n_threads ?horizon body =
+(* Pop order of the explore-mode pending list: identical to the event
+   heap's (time, seq) order, so a policy that always answers 0 replays
+   the default schedule exactly. *)
+let pend_compare a b =
+  if a.pe_time <> b.pe_time then compare a.pe_time b.pe_time
+  else compare a.pe_seq b.pe_seq
+
+let run_explore eng ex ~n_threads ~max_events =
+  let hit_cap = ref false in
+  let stop = ref false in
+  while not !stop do
+    match ex.ex_pending with
+    | [] -> stop := true
+    | pending -> (
+        match max_events with
+        | Some m when eng.events >= m ->
+            hit_cap := true;
+            stop := true
+        | _ ->
+            let sorted = List.sort pend_compare pending in
+            let cands =
+              Array.of_list
+                (List.map
+                   (fun p ->
+                     {
+                       c_time = p.pe_time;
+                       c_tid = p.pe_tid;
+                       c_class = p.pe_class;
+                       c_line = p.pe_line.Coherence.name;
+                     })
+                   sorted)
+            in
+            let idx = ex.ex_policy ~step:ex.ex_steps cands in
+            let idx = if idx < 0 || idx >= Array.length cands then 0 else idx in
+            ex.ex_steps <- ex.ex_steps + 1;
+            let chosen = List.nth sorted idx in
+            ex.ex_pending <-
+              List.filter (fun p -> p.pe_seq <> chosen.pe_seq) pending;
+            if chosen.pe_time > eng.now then eng.now <- chosen.pe_time;
+            eng.events <- eng.events + 1;
+            chosen.pe_run ())
+  done;
+  if (not !hit_cap) && eng.live > 0 then
+    raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
+  {
+    end_time = eng.now;
+    coherence = eng.cstats;
+    events = eng.events;
+    threads_finished = n_threads - eng.live;
+  }
+
+let run ~topology ~n_threads ?horizon ?policy ?max_events body =
   if n_threads < 1 then invalid_arg "Engine.run: n_threads < 1";
   if n_threads > Topology.total_threads topology then
     invalid_arg
       (Printf.sprintf "Engine.run: %d threads exceed topology capacity %d"
          n_threads
          (Topology.total_threads topology));
+  let mode =
+    match policy with
+    | None -> Heap (Event_heap.create ())
+    | Some p ->
+        Explore { ex_policy = p; ex_pending = []; ex_seq = 0; ex_steps = 0 }
+  in
   let eng =
     {
       topo = topology;
-      heap = Event_heap.create ();
+      mode;
       now = 0;
       cstats = Coherence.fresh_stats ();
       icx = Interconnect.create topology.latency;
@@ -211,29 +355,33 @@ let run ~topology ~n_threads ?horizon body =
   for tid = 0 to n_threads - 1 do
     let cluster = Topology.cluster_of_thread topology tid in
     (* 1 ns stagger breaks the t=0 symmetry deterministically. *)
-    schedule eng tid (fun () ->
+    schedule eng ~tid ~cls:Start ~line:no_line tid (fun () ->
         match_with (fun () -> body ~tid ~cluster) () (handler eng ~tid ~cluster))
   done;
-  let hit_horizon = ref false in
-  let stop = ref false in
-  while not !stop do
-    match Event_heap.pop eng.heap with
-    | None -> stop := true
-    | Some (t, thunk) -> (
-        match horizon with
-        | Some h when t > h ->
-            hit_horizon := true;
-            stop := true
-        | _ ->
-            if t > eng.now then eng.now <- t;
-            eng.events <- eng.events + 1;
-            thunk ())
-  done;
-  if (not !hit_horizon) && eng.live > 0 then
-    raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
-  {
-    end_time = eng.now;
-    coherence = eng.cstats;
-    events = eng.events;
-    threads_finished = n_threads - eng.live;
-  }
+  match eng.mode with
+  | Explore ex -> run_explore eng ex ~n_threads ~max_events
+  | Heap heap ->
+      let hit_horizon = ref false in
+      let stop = ref false in
+      while not !stop do
+        match Event_heap.pop heap with
+        | None -> stop := true
+        | Some (t, thunk) -> (
+            match horizon with
+            | Some h when t > h ->
+                hit_horizon := true;
+                stop := true
+            | _ ->
+                if t > eng.now then eng.now <- t;
+                eng.events <- eng.events + 1;
+                thunk ())
+      done;
+      if (not !hit_horizon) && eng.live > 0 then
+        raise
+          (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
+      {
+        end_time = eng.now;
+        coherence = eng.cstats;
+        events = eng.events;
+        threads_finished = n_threads - eng.live;
+      }

@@ -27,10 +27,47 @@ exception Deadlock of { live : int; blocked : int; at : int }
 exception Thread_failure of { tid : int; exn : exn; backtrace : string }
 (** An exception escaped a thread body; the run is aborted. *)
 
+(** {1 Scheduling policy (schedule exploration)}
+
+    With no policy, the engine pops events from a (time, issue-order)
+    min-heap — the historical deterministic schedule. A [policy] replaces
+    the pop: at every step it is shown all pending events sorted in that
+    same (time, issue-order) order and picks one by index. Index 0 is
+    always the event the default schedule would run, so the constant-0
+    policy replays the default schedule exactly. Out-of-range answers are
+    clamped to 0. Simulated time never goes backwards: running an event
+    whose timestamp is in the past executes it at the current time. *)
+
+type ev_class =
+  | Start  (** a thread's first step. *)
+  | Op_read
+  | Op_write
+  | Op_rmw  (** completion (linearisation) of a memory operation. *)
+  | Spin_check  (** first predicate check of a [wait_until]. *)
+  | Spin_wake  (** charged re-check after a wake-up write. *)
+  | Timeout  (** expiry of a [wait_until_for] deadline. *)
+  | Resume  (** end of a [pause]. *)
+
+val class_to_string : ev_class -> string
+
+type candidate = {
+  c_time : int;  (** scheduled simulated time. *)
+  c_tid : int;  (** thread the event belongs to. *)
+  c_class : ev_class;
+  c_line : string;  (** name of the cache line involved, or ["(engine)"]. *)
+}
+
+type policy = step:int -> candidate array -> int
+(** [policy ~step candidates] returns the index of the event to run at
+    decision [step] (0-based, counted over every event including forced
+    singleton choices). The candidate array is never empty. *)
+
 val run :
   topology:Numa_base.Topology.t ->
   n_threads:int ->
   ?horizon:int ->
+  ?policy:policy ->
+  ?max_events:int ->
   (tid:int -> cluster:int -> unit) ->
   result
 (** [run ~topology ~n_threads body] starts [n_threads] fibers; thread
@@ -40,7 +77,13 @@ val run :
 
     [horizon] is a hard stop: events after it are discarded and the run
     returns with [threads_finished < n_threads] instead of raising. Use it
-    only as a backstop in tests.
+    only as a backstop in tests. It applies to the default heap schedule
+    only; under a [policy] use [max_events] instead.
+
+    [policy] switches the engine into explore mode (see above).
+    [max_events] bounds the number of events processed in explore mode;
+    reaching the bound returns with [threads_finished < n_threads]
+    instead of raising [Deadlock] — a livelock backstop.
 
     @raise Invalid_argument if [n_threads] exceeds the topology capacity. *)
 

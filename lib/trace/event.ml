@@ -5,6 +5,7 @@ type kind =
   | Handoff_global
   | Abort
   | Starvation_limit_hit
+  | Enqueue
 
 type t = { at : int; tid : int; cluster : int; kind : kind }
 
@@ -15,6 +16,7 @@ let kind_to_string = function
   | Handoff_global -> "handoff_global"
   | Abort -> "abort"
   | Starvation_limit_hit -> "starvation_limit_hit"
+  | Enqueue -> "enqueue"
 
 let kind_of_string = function
   | "acquire_local" -> Some Acquire_local
@@ -23,16 +25,19 @@ let kind_of_string = function
   | "handoff_global" -> Some Handoff_global
   | "abort" -> Some Abort
   | "starvation_limit_hit" -> Some Starvation_limit_hit
+  | "enqueue" -> Some Enqueue
   | _ -> None
 
 let is_acquire = function
   | Acquire_local | Acquire_global -> true
-  | Handoff_within_cohort | Handoff_global | Abort | Starvation_limit_hit ->
+  | Handoff_within_cohort | Handoff_global | Abort | Starvation_limit_hit
+  | Enqueue ->
       false
 
 let is_release = function
   | Handoff_within_cohort | Handoff_global -> true
-  | Acquire_local | Acquire_global | Abort | Starvation_limit_hit -> false
+  | Acquire_local | Acquire_global | Abort | Starvation_limit_hit | Enqueue ->
+      false
 
 let pp ppf e =
   Format.fprintf ppf "[%d] t%d@@c%d %s" e.at e.tid e.cluster

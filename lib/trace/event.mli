@@ -26,6 +26,11 @@ type kind =
   | Starvation_limit_hit
       (** the may-pass-local policy forced a global release even though
           cohort waiters existed (bound reached or time budget spent). *)
+  | Enqueue
+      (** the thread joined a FIFO queue lock's wait queue (the ticket
+          FAA, or the MCS/CLH tail swap). Emitted only by the plain
+          queue locks; the linearisation point of queue order, which the
+          FIFO oracle checks acquires against. *)
 
 type t = { at : int;  (** ns, substrate clock. *) tid : int; cluster : int; kind : kind }
 

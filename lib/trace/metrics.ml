@@ -80,7 +80,8 @@ let of_events ?(wait_p50 = Float.nan) ?(wait_p99 = Float.nan) events =
             batch_run := 0
           end
       | Abort -> incr aborts
-      | Starvation_limit_hit -> incr starvation)
+      | Starvation_limit_hit -> incr starvation
+      | Enqueue -> ())
     events;
   let batch_arr =
     Array.of_list (List.rev_map float_of_int !batches)

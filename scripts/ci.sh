@@ -7,9 +7,11 @@
 # Steps, failing on the first nonzero exit:
 #   1. tier-1: warning-clean build of everything + all test suites
 #   2. fixed-seed torture smoke (50 random schedules, seed 42)
-#   3. quick sim benchmark, emitting a cohort-bench JSON artifact
-#   4. determinism guard: re-run the same seed, byte-compare artifacts
-#   5. regression gate: bench_diff against the newest committed
+#   3. explorer smoke: exhaustive schedule exploration of C-BO-MCS must
+#      be clean, and the skip-limit mutant must be caught
+#   4. quick sim benchmark, emitting a cohort-bench JSON artifact
+#   5. determinism guard: re-run the same seed, byte-compare artifacts
+#   6. regression gate: bench_diff against the newest committed
 #      BENCH_*.json (>10% throughput drop on any entry fails)
 #
 # When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
@@ -20,6 +22,7 @@ set -euo pipefail
 
 if [[ -n "${INSIDE_DUNE:-}" ]]; then
   torture() { bin/torture.exe "$@"; }
+  explore() { bin/explore.exe "$@"; }
   bench() { bench/main.exe "$@"; }
   bench_diff() { bin/bench_diff.exe "$@"; }
 else
@@ -29,6 +32,7 @@ else
   echo "== ci: dune runtest --force"
   dune runtest --force
   torture() { dune exec --no-build bin/torture.exe -- "$@"; }
+  explore() { dune exec --no-build bin/explore.exe -- "$@"; }
   bench() { dune exec --no-build bench/main.exe -- "$@"; }
   bench_diff() { dune exec --no-build bin/bench_diff.exe -- "$@"; }
 fi
@@ -38,6 +42,9 @@ trap 'rm -rf "$tmp"' EXIT
 
 echo "== ci: torture smoke (50 schedules, seed 42)"
 torture 50 42
+
+echo "== ci: explorer smoke (exhaustive C-BO-MCS + skip-limit mutant)"
+explore --quick
 
 echo "== ci: quick sim benchmark -> BENCH_head.json"
 bench quick --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"

@@ -1,0 +1,132 @@
+(* Schedule-exploration suite (Numa_check): exhaustive bounded
+   exploration is clean on every genuine registry lock at a small
+   configuration, each of the three seeded mutants is caught, and the
+   shrunk counterexample decision traces are golden-pinned and replay
+   bit-identically. The pins document the minimal schedules that expose
+   each bug; like test_golden.ml they move only with an intentional
+   engine/latency change, never casually. *)
+
+module E = Numa_check.Explore
+module D = Numa_check.Decision
+module V = Numa_check.Violation
+module Mut = Numa_check.Mutants.Make (Numasim.Sim_mem)
+module R = Harness.Lock_registry
+
+(* --- Genuine locks: clean under exploration ----------------------------- *)
+
+let registry_clean (e : R.entry) () =
+  let sc = E.scenario e.R.lock in
+  let r = E.exhaustive ~preemptions:1 ~budget:5_000 sc in
+  Alcotest.(check bool)
+    (e.R.name ^ ": search exhausted within budget")
+    true r.E.exhausted;
+  match r.E.failure with
+  | None -> ()
+  | Some (trace, v) ->
+      Alcotest.failf "%s: false positive on trace %s: %s" e.R.name
+        (D.to_string trace) (V.to_string v)
+
+(* The flagship cohort lock gets the full 2-preemption bound. The
+   schedule count is an exact pin: it is a pure function of the lock's
+   memory accesses and the simulator's latency model, so a drift here
+   means schedules changed — the same contract as test_golden.ml. *)
+let cbomcs_deep () =
+  let sc =
+    E.scenario (Option.get (R.find "C-BO-MCS")).R.lock
+  in
+  let r = E.exhaustive ~preemptions:2 ~budget:10_000 sc in
+  Alcotest.(check bool) "exhausted" true r.E.exhausted;
+  (match r.E.failure with
+  | None -> ()
+  | Some (_, v) -> Alcotest.failf "C-BO-MCS: %s" (V.to_string v));
+  Alcotest.(check int) "schedule count (golden)" 4314 r.E.schedules
+
+(* --- Mutants: caught, shrunk, pinned, replayable ------------------------ *)
+
+let catch_mutant lock ~invariant ~pin () =
+  let sc = E.scenario lock in
+  let r = E.exhaustive ~preemptions:2 ~budget:5_000 sc in
+  match r.E.failure with
+  | None -> Alcotest.fail "mutant escaped exhaustive exploration"
+  | Some (trace, v) ->
+      Alcotest.(check string) "invariant caught" invariant v.V.invariant;
+      let shrunk = E.shrink sc trace v in
+      Alcotest.(check string) "shrunk trace (golden)" pin (D.to_string shrunk);
+      (* The shrunk trace must replay the same failure, bit-identically,
+         as many times as it is run. *)
+      let r1 = E.run_once ~record:true sc shrunk in
+      let r2 = E.run_once ~record:true sc shrunk in
+      (match (r1.E.outcome, r2.E.outcome) with
+      | E.Fail v1, E.Fail v2 ->
+          Alcotest.(check string) "replayed invariant" invariant v1.V.invariant;
+          Alcotest.(check string)
+            "two replays: identical violation" (V.to_string v1)
+            (V.to_string v2);
+          Alcotest.(check string)
+            "two replays: identical interleaving"
+            (D.interleaving_to_string r1.E.steps)
+            (D.interleaving_to_string r2.E.steps)
+      | _ -> Alcotest.fail "shrunk trace no longer fails on replay")
+
+let mutant_cases =
+  [
+    (* The unbounded-local-batch bug trips the handoff-limit oracle on
+       the very first (default) schedule. *)
+    Alcotest.test_case "C-BO-MCS!skip-limit -> cohort-handoff-limit" `Quick
+      (catch_mutant Mut.skip_limit ~invariant:"cohort-handoff-limit"
+         ~pin:"default");
+    (* The split read-then-write ticket grab already loses a ticket on
+       the default schedule; the oracle sees the FIFO break first. *)
+    Alcotest.test_case "TKT!lost-ticket -> fifo" `Quick
+      (catch_mutant Mut.lost_ticket ~invariant:"fifo" ~pin:"default");
+    (* The misordered successor publish needs a genuinely adversarial
+       schedule: two deviations that land a grant inside the
+       publish/reset window, wedging the queue. *)
+    Alcotest.test_case "MCS!late-reset -> deadlock" `Quick
+      (catch_mutant Mut.late_reset ~invariant:"deadlock" ~pin:"0:1,5:1");
+  ]
+
+(* --- Fuzzing ------------------------------------------------------------- *)
+
+(* Weighted-random schedules: clean on a genuine lock, and any failure it
+   finds on a mutant comes with a trace that replays it. *)
+let fuzz_clean () =
+  let sc = E.scenario (Option.get (R.find "C-TKT-MCS")).R.lock in
+  let r = E.fuzz ~seed:7 ~runs:100 sc in
+  Alcotest.(check int) "all runs executed" 100 r.E.fuzz_runs;
+  match r.E.fuzz_failure with
+  | None -> ()
+  | Some (trace, v) ->
+      Alcotest.failf "C-TKT-MCS fuzz: false positive on %s: %s"
+        (D.to_string trace) (V.to_string v)
+
+let fuzz_catches_and_replays () =
+  let sc = E.scenario Mut.lost_ticket in
+  let r = E.fuzz ~seed:7 ~runs:100 sc in
+  match r.E.fuzz_failure with
+  | None -> Alcotest.fail "fuzz missed the lost-ticket mutant"
+  | Some (trace, v) -> (
+      match (E.run_once sc trace).E.outcome with
+      | E.Fail v' ->
+          Alcotest.(check string) "fuzz trace replays the failure"
+            (V.to_string v) (V.to_string v')
+      | E.Pass -> Alcotest.fail "fuzz trace did not replay its failure")
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "registry_clean",
+        List.map
+          (fun (e : R.entry) ->
+            Alcotest.test_case e.R.name `Quick (registry_clean e))
+          R.all_locks );
+      ( "deep",
+        [ Alcotest.test_case "C-BO-MCS preemptions=2" `Quick cbomcs_deep ] );
+      ("mutants", mutant_cases);
+      ( "fuzz",
+        [
+          Alcotest.test_case "genuine lock clean" `Quick fuzz_clean;
+          Alcotest.test_case "mutant caught and replayed" `Quick
+            fuzz_catches_and_replays;
+        ] );
+    ]

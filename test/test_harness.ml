@@ -208,9 +208,10 @@ let test_csv_roundtrip () =
 (* --- check_lock ---------------------------------------------------------- *)
 
 module CL = Harness.Check_lock
+module CLS = CL.Make (Numasim.Sim_mem)
 
 let test_check_lock_clean_usage () =
-  let (module L) = CL.wrap mcs.R.lock in
+  let (module L) = CLS.wrap mcs.R.lock in
   let l = L.create cfg in
   let ok = ref 0 in
   ignore
@@ -237,7 +238,7 @@ let check_violation body =
   | Numasim.Engine.Thread_failure { exn = CL.Protocol_violation _; _ } -> true
 
 let test_check_lock_double_release () =
-  let (module L) = CL.wrap mcs.R.lock in
+  let (module L) = CLS.wrap mcs.R.lock in
   let l = L.create cfg in
   Alcotest.(check bool) "double release detected" true
     (check_violation (fun ~tid ~cluster ->
@@ -247,7 +248,7 @@ let test_check_lock_double_release () =
          L.release th))
 
 let test_check_lock_release_without_acquire () =
-  let (module L) = CL.wrap mcs.R.lock in
+  let (module L) = CLS.wrap mcs.R.lock in
   let l = L.create cfg in
   Alcotest.(check bool) "bare release detected" true
     (check_violation (fun ~tid ~cluster ->
@@ -255,7 +256,7 @@ let test_check_lock_release_without_acquire () =
          L.release th))
 
 let test_check_lock_reentrant_acquire () =
-  let (module L) = CL.wrap mcs.R.lock in
+  let (module L) = CLS.wrap mcs.R.lock in
   let l = L.create cfg in
   Alcotest.(check bool) "reentrancy detected" true
     (check_violation (fun ~tid ~cluster ->

@@ -113,6 +113,81 @@ end
 module Native_checks = Checks (Numa_native.Nat_mem)
 module Sim_checks = Checks (Numasim.Sim_mem)
 
+(* --- Differential property: random op sequences ------------------------- *)
+
+(* A random single-thread sequence of the five value-returning primitives
+   over a few shared cells must produce byte-identical value histories on
+   both substrates: every op's observable result plus a final read of
+   each cell. Values are drawn from a small range so CAS expectations hit
+   and miss; qcheck's list shrinking minimises any diverging sequence. *)
+
+type mop =
+  | Load of int
+  | Store of int * int
+  | Cas of int * int * int
+  | Swap of int * int
+  | Faa of int * int
+
+let n_cells = 3
+
+module Diff (M : MEM) = struct
+  let history ops =
+    let cells = Array.init n_cells (fun _ -> M.cell' 0) in
+    let h = ref [] in
+    let push v = h := v :: !h in
+    List.iter
+      (function
+        | Load c -> push (M.read cells.(c))
+        | Store (c, x) -> M.write cells.(c) x
+        | Cas (c, e, d) ->
+            push (if M.cas cells.(c) ~expect:e ~desire:d then 1 else 0)
+        | Swap (c, x) -> push (M.swap cells.(c) x)
+        | Faa (c, x) -> push (M.fetch_and_add cells.(c) x))
+      ops;
+    Array.iter (fun c -> push (M.read c)) cells;
+    List.rev !h
+end
+
+module Nat_diff = Diff (Numa_native.Nat_mem)
+module Sim_diff = Diff (Numasim.Sim_mem)
+
+let mop_gen =
+  QCheck.Gen.(
+    let cell = int_range 0 (n_cells - 1) in
+    let v = int_range 0 3 in
+    frequency
+      [
+        (3, map (fun c -> Load c) cell);
+        (3, map2 (fun c x -> Store (c, x)) cell v);
+        (3, map3 (fun c e d -> Cas (c, e, d)) cell v v);
+        (2, map2 (fun c x -> Swap (c, x)) cell v);
+        (2, map2 (fun c x -> Faa (c, x)) cell (int_range (-2) 2));
+      ])
+
+let mop_print = function
+  | Load c -> Printf.sprintf "L%d" c
+  | Store (c, x) -> Printf.sprintf "S%d<-%d" c x
+  | Cas (c, e, d) -> Printf.sprintf "C%d:%d->%d" c e d
+  | Swap (c, x) -> Printf.sprintf "X%d<-%d" c x
+  | Faa (c, x) -> Printf.sprintf "F%d+%d" c x
+
+let arb_mops =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 100) mop_gen)
+    ~print:(fun ops -> String.concat ";" (List.map mop_print ops))
+    ~shrink:QCheck.Shrink.list
+
+let prop_substrates_agree =
+  QCheck.Test.make ~name:"Sim_mem and Nat_mem value histories agree"
+    ~count:300 arb_mops (fun ops ->
+      Numa_native.Nat_mem.set_identity ~tid:0 ~cluster:0;
+      let nat = Nat_diff.history ops in
+      let sim = ref [] in
+      ignore
+        (Numasim.Engine.run ~topology:Numa_base.Topology.small ~n_threads:1
+           (fun ~tid:_ ~cluster:_ -> sim := Sim_diff.history ops));
+      nat = !sim)
+
 let native_case (name, f) =
   Alcotest.test_case name `Quick (fun () ->
       Numa_native.Nat_mem.set_identity ~tid:0 ~cluster:0;
@@ -130,4 +205,6 @@ let () =
     [
       ("native", List.map native_case Native_checks.all);
       ("simulated", List.map sim_case Sim_checks.all);
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_substrates_agree ] );
     ]

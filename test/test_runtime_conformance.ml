@@ -115,7 +115,8 @@ struct
       "no thread crossed before all arrived" 0 (Atomic.get stragglers)
 
   let test_checker_violation_raised () =
-    let (module L) = Harness.Check_lock.wrap (module Broken) in
+    let module CL = Harness.Check_lock.Make (M) in
+    let (module L) = CL.wrap (module Broken) in
     let l = L.create { LI.default with clusters = 4; max_threads = 8 } in
     let raised =
       try

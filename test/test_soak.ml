@@ -75,8 +75,23 @@ let abortable_soak_test (e : R.abortable_entry) () =
   Alcotest.(check int) (e.R.a_name ^ ": nobody stranded") 0 !stranded;
   Alcotest.(check bool) (e.R.a_name ^ ": progress") true (!successes > 500)
 
+(* Fixed-seed regression for `torture --oracle`: a short campaign with
+   the Numa_check property oracles (cohort-handoff legality + FIFO)
+   enabled on the simulated runtime must stay clean. Deterministic given
+   the seed, so a failure here is an exact replay. *)
+let oracle_campaign () =
+  let module T =
+    Harness.Torture_core.Make (Numasim.Sim_mem) (Numasim.Sim_runtime)
+  in
+  let failures =
+    T.campaign ~oracles:true ~log:print_endline ~rounds:15 ~seed:2012 ()
+  in
+  Alcotest.(check int) "oracle campaign clean" 0 failures
+
 let suite =
   [
+    ( "oracle_torture",
+      [ Alcotest.test_case "15 rounds, seed 2012" `Slow oracle_campaign ] );
     ( "soak_64_threads",
       List.map
         (fun (e : R.entry) -> Alcotest.test_case e.R.name `Slow (soak_test e))
