@@ -1,0 +1,201 @@
+(* Host-performance meta-harness: how many simulated memory events does
+   `Numasim.Engine` retire per host-second? (see doc/SIMULATOR.md,
+   "Engine performance")
+
+     dune exec bin/enginebench.exe               # full measurement
+     dune exec bin/enginebench.exe -- --smoke    # short CI smoke
+     dune exec bin/enginebench.exe -- --emit HOSTPERF_XXXX.json
+
+   Unlike every other artifact in this repo, the HOSTPERF JSON measures
+   *host* wall-clock (via Bechamel's monotonic clock) and is therefore
+   NOT deterministic: it is excluded from the CI same-seed byte-diff,
+   which covers BENCH_*.json only. The simulated side of each workload
+   IS deterministic — `events_per_run` is a pure function of the
+   workload and is pinned in the artifact so a schedule drift shows up
+   as a diff even here.
+
+   Workloads:
+   - uncontended-bo        1 thread, BO lock, long run: the heap-mode
+                           fast path with no waiters and no contention.
+   - contended-c-bo-mcs-32 32 threads on the t5440 topology hammering
+                           C-BO-MCS: waiter wake-ups, invalidation
+                           storms, deep event heap — the workload the
+                           ISSUE's >=2x acceptance bound is measured on.
+   - explore-steps         the same engine under the identity scheduling
+                           policy (explore mode, candidate arrays built
+                           every step): the explorer's per-schedule cost.
+*)
+
+open Bechamel
+module SM = Numasim.Sim_mem
+module Engine = Numasim.Engine
+module LI = Cohort.Lock_intf
+module J = Numa_trace.Json
+module Bo = Cohort.Bo_lock.Make (SM)
+module Cbomcs = Cohort.Cohort_locks.C_bo_mcs (SM)
+
+let schema_version = "cohort-hostperf/1"
+
+(* One full simulation of [sections] lock/increment/unlock critical
+   sections per thread; returns the engine's event count (deterministic
+   for a fixed workload). *)
+let lock_run ~topology ~n_threads ~sections ?policy (module L : LI.LOCK) () =
+  let cfg =
+    {
+      LI.default with
+      LI.clusters = topology.Numa_base.Topology.clusters;
+      max_threads = Numa_base.Topology.total_threads topology;
+    }
+  in
+  let lock = L.create cfg in
+  let line = SM.line ~name:"cs.data" () in
+  let data = SM.cell line 0 in
+  let body ~tid ~cluster =
+    let th = L.register lock ~tid ~cluster in
+    for _ = 1 to sections do
+      L.acquire th;
+      let v = SM.read data in
+      SM.write data (v + 1);
+      L.release th
+    done
+  in
+  let r = Engine.run ~topology ~n_threads ?policy body in
+  r.Engine.events
+
+let identity_policy ~step:_ (_ : Engine.candidate array) = 0
+
+type workload = { wl_name : string; wl_run : unit -> int }
+
+let workloads =
+  [
+    {
+      wl_name = "uncontended-bo";
+      wl_run =
+        lock_run ~topology:Numa_base.Topology.small ~n_threads:1
+          ~sections:2_000
+          (module Bo.Plain);
+    };
+    {
+      wl_name = "contended-c-bo-mcs-32";
+      wl_run =
+        lock_run ~topology:Numa_base.Topology.t5440 ~n_threads:32 ~sections:40
+          (module Cbomcs);
+    };
+    {
+      wl_name = "explore-steps";
+      wl_run =
+        lock_run ~topology:Numa_base.Topology.t5440 ~n_threads:8 ~sections:40
+          ~policy:identity_policy
+          (module Cbomcs);
+    };
+  ]
+
+type measurement = {
+  m_name : string;
+  m_events_per_run : int;
+  m_ns_per_run : float;
+  m_events_per_sec : float;
+}
+
+let measure ~quota wl =
+  (* The simulated event count is a pure function of the workload; one
+     untimed run pins it. *)
+  let events_per_run = wl.wl_run () in
+  let test =
+    Test.make ~name:wl.wl_name (Staged.stage (fun () -> ignore (wl.wl_run ())))
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let results = Benchmark.all cfg [ instance ] test in
+  let analyzed = Analyze.all ols instance results in
+  let ns_per_run = ref Float.nan in
+  Hashtbl.iter
+    (fun _ ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (e :: _) -> ns_per_run := e
+      | _ -> ())
+    analyzed;
+  let events_per_sec =
+    if Float.is_nan !ns_per_run || !ns_per_run <= 0. then Float.nan
+    else float_of_int events_per_run /. (!ns_per_run /. 1e9)
+  in
+  {
+    m_name = wl.wl_name;
+    m_events_per_run = events_per_run;
+    m_ns_per_run = !ns_per_run;
+    m_events_per_sec = events_per_sec;
+  }
+
+let to_json ~note ms =
+  J.Obj
+    [
+      ("schema", J.String schema_version);
+      ( "note",
+        match note with None -> J.Null | Some n -> J.String n );
+      ( "entries",
+        J.List
+          (List.map
+             (fun m ->
+               J.Obj
+                 [
+                   ("name", J.String m.m_name);
+                   ("events_per_run", J.Int m.m_events_per_run);
+                   ("ns_per_run", J.Float m.m_ns_per_run);
+                   ("events_per_host_sec", J.Float m.m_events_per_sec);
+                 ])
+             ms) );
+    ]
+
+let run smoke quota emit note =
+  let quota = if smoke then 0.1 else quota in
+  print_endline "=== Engine host throughput (simulated events / host second) ===";
+  let ms =
+    List.map
+      (fun wl ->
+        let m = measure ~quota wl in
+        Printf.printf "  %-24s %8d ev/run  %12.0f ns/run  %12.3e ev/s\n%!"
+          m.m_name m.m_events_per_run m.m_ns_per_run m.m_events_per_sec;
+        m)
+      workloads
+  in
+  (match emit with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (J.to_string ~pretty:true (to_json ~note ms));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file);
+  0
+
+open Cmdliner
+
+let smoke_arg =
+  Arg.(value & flag & info [ "smoke" ] ~doc:"Short run for CI logs (0.1 s quota per workload, non-gating).")
+
+let quota_arg =
+  Arg.(value & opt float 0.5 & info [ "quota" ] ~docv:"SECS" ~doc:"Bechamel time quota per workload.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"FILE"
+        ~doc:"Write a cohort-hostperf/1 JSON artifact (wall-clock; excluded from the CI determinism byte-diff).")
+
+let note_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "note" ] ~docv:"TEXT" ~doc:"Free-form note embedded in the artifact (e.g. the pre-PR baseline).")
+
+let cmd =
+  let doc = "measure simulator throughput in simulated events per host-second" in
+  Cmd.v
+    (Cmd.info "enginebench" ~doc)
+    Term.(const run $ smoke_arg $ quota_arg $ emit_arg $ note_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,10 @@
    - --quick: the CI smoke — exhaustive C-BO-MCS clean + the skip-limit
      mutant caught.
 
+   Exhaustive search prunes commuting deviations by default (see
+   Explore.exhaustive); --no-prune runs the full BFS. Reports show both
+   schedules visited and deviations pruned.
+
    Lock names resolve through the registry first, then the mutants
    (C-BO-MCS!skip-limit, TKT!lost-ticket, MCS!late-reset). Exit status is
    nonzero when a genuine lock fails, when a mutant is NOT caught, or
@@ -39,8 +43,8 @@ let pp_failure sc (trace, v) =
       Format.printf "UNSTABLE: failure did not replay under shrinking:@.%s@."
         (V.to_string v)
 
-let explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed ~runs name
-    =
+let explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed ~runs
+    ~prune name =
   match find_lock name with
   | None ->
       Printf.printf "%-20s unknown lock\n%!" name;
@@ -49,12 +53,12 @@ let explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed ~runs name
       let sc = E.scenario ~n_threads:threads ~sections lock in
       match mode with
       | `Exhaustive -> (
-          let r = E.exhaustive ~preemptions ~budget sc in
+          let r = E.exhaustive ~preemptions ~budget ~prune sc in
           match r.E.failure with
           | None ->
               Printf.printf
-                "%-20s clean: %d schedules (preemptions<=%d%s)\n%!" name
-                r.E.schedules preemptions
+                "%-20s clean: %d schedules, %d pruned (preemptions<=%d%s)\n%!"
+                name r.E.schedules r.E.pruned preemptions
                 (if r.E.exhausted then ", exhausted"
                  else ", budget " ^ string_of_int budget ^ " hit");
               `Clean
@@ -98,13 +102,13 @@ let run_replay ~threads ~sections name trace_str =
             name (V.to_string v);
           0)
 
-let run_mutants ~preemptions ~budget ~threads ~sections =
+let run_mutants ~preemptions ~budget ~threads ~sections ~prune =
   let bad = ref 0 in
   List.iter
     (fun (module L : LI.LOCK) ->
       match
         explore_one ~mode:`Exhaustive ~preemptions ~budget ~threads ~sections
-          ~seed:0 ~runs:0 L.name
+          ~seed:0 ~runs:0 ~prune L.name
       with
       | `Caught -> ()
       | `Clean ->
@@ -126,11 +130,12 @@ let run_quick () =
     | None -> failwith ("explore --quick: missing lock " ^ name)
   in
   let sc = E.scenario (get "C-BO-MCS") in
-  let r = E.exhaustive ~preemptions:2 ~budget:10_000 sc in
+  let r = E.exhaustive ~preemptions:2 ~budget:10_000 ~prune:true sc in
   (match r.E.failure with
   | None ->
-      Printf.printf "explore smoke: C-BO-MCS clean (%d schedules%s)\n%!"
-        r.E.schedules
+      Printf.printf
+        "explore smoke: C-BO-MCS clean (%d schedules, %d pruned%s)\n%!"
+        r.E.schedules r.E.pruned
         (if r.E.exhausted then ", exhausted" else "")
   | Some f ->
       Printf.printf "explore smoke: C-BO-MCS FAILED\n%!";
@@ -141,7 +146,9 @@ let run_quick () =
     exit 1
   end;
   let msc = E.scenario Mut.skip_limit in
-  (match (E.exhaustive ~preemptions:2 ~budget:10_000 msc).E.failure with
+  (match
+     (E.exhaustive ~preemptions:2 ~budget:10_000 ~prune:true msc).E.failure
+   with
   | Some (trace, v) ->
       Printf.printf "explore smoke: mutant caught as expected (%s, trace %s)\n%!"
         v.V.invariant (D.to_string trace)
@@ -191,11 +198,19 @@ let mutants_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke: C-BO-MCS clean + skip-limit mutant caught.")
 
+let no_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prune" ]
+        ~doc:"Disable the commuting-deviation reduction and run the full \
+              exhaustive BFS.")
+
 let main locks mode preemptions budget threads sections seed runs replay
-    mutants quick =
+    mutants quick no_prune =
+  let prune = not no_prune in
   if quick then exit (run_quick ());
   if mutants then
-    exit (run_mutants ~preemptions ~budget ~threads ~sections);
+    exit (run_mutants ~preemptions ~budget ~threads ~sections ~prune);
   match replay with
   | Some trace_str -> (
       match locks with
@@ -213,7 +228,7 @@ let main locks mode preemptions budget threads sections seed runs replay
         (fun name ->
           match
             explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed
-              ~runs name
+              ~runs ~prune name
           with
           | `Clean -> ()
           | `Caught | `Error -> incr failures)
@@ -227,6 +242,6 @@ let cmd =
     Term.(
       const main $ locks_arg $ mode_arg $ preemptions_arg $ budget_arg
       $ threads_arg $ sections_arg $ seed_arg $ runs_arg $ replay_arg
-      $ mutants_arg $ quick_arg)
+      $ mutants_arg $ quick_arg $ no_prune_arg)
 
 let () = exit (Cmd.eval cmd)

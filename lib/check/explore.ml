@@ -87,6 +87,7 @@ type run = {
   outcome : outcome;
   taken : Decision.t;
   dp_alts : int array array;
+  dp_kept : int array array;
   steps : Decision.step list;
 }
 
@@ -101,9 +102,40 @@ let eligible_alts (cands : Engine.candidate array) =
   done;
   Array.of_list !out
 
-let run_with ?(record = false) sc ~chooser =
+(* Sleep-set-style reduction: promoting candidate [p] to the front only
+   yields a genuinely different interleaving if [p]'s event interferes
+   with something it jumps over — same thread (program order) or same
+   cache line (access order changes coherence state and wake order).
+   Jumping over only unrelated events commutes with them, so the
+   resulting schedule is equivalent to one the BFS reaches anyway by
+   deviating later (or not at all); expanding it would re-explore the
+   same state.
+
+   Two conservative exceptions keep the reduction honest: engine-internal
+   events (thread starts, pause expiries) all share the "(engine)"
+   pseudo-line, so start-order deviations stay explorable; and an Rmw
+   promotion is always kept, because an atomic read-modify-write is a
+   race decision (CAS/swap on a lock word picks a winner) whose effects
+   are not line-local — the loser parks or retries on other lines, so
+   reordering it past even unrelated events can steer every later
+   decision point (the MCS late-reset counterexample needs exactly such
+   a promotion). *)
+let interferes (cands : Engine.candidate array) p =
+  let cp = cands.(p) in
+  cp.Engine.c_class = Engine.Op_rmw
+  ||
+  let rec scan j =
+    j < p
+    && (cands.(j).Engine.c_tid = cp.Engine.c_tid
+       || String.equal cands.(j).Engine.c_line cp.Engine.c_line
+       || scan (j + 1))
+  in
+  scan 0
+
+let run_with ?(record = false) ?(prune = false) sc ~chooser =
   let n_dps = ref 0 in
   let dp_alts = ref [] in
+  let dp_kept = ref [] in
   let taken = ref [] in
   let steps = ref [] in
   let policy ~step:_ (cands : Engine.candidate array) =
@@ -115,6 +147,11 @@ let run_with ?(record = false) sc ~chooser =
         incr n_dps;
         let alts = eligible_alts cands in
         dp_alts := alts :: !dp_alts;
+        if prune then
+          dp_kept :=
+            Array.of_list
+              (List.filter (interferes cands) (Array.to_list alts))
+            :: !dp_kept;
         let p = chooser ~dp ~alts in
         let p = if p < 0 || p >= n then 0 else p in
         if p > 0 then taken := { Decision.at = dp; pick = p } :: !taken;
@@ -168,20 +205,25 @@ let run_with ?(record = false) sc ~chooser =
                 "%d threads live (%d parked) with no runnable event" live
                 blocked))
   in
+  let dp_alts = Array.of_list (List.rev !dp_alts) in
   {
     outcome;
     taken = List.rev !taken;
-    dp_alts = Array.of_list (List.rev !dp_alts);
+    dp_alts;
+    dp_kept =
+      (if prune then Array.of_list (List.rev !dp_kept) else dp_alts);
     steps = List.rev !steps;
   }
 
-let run_once ?record sc trace =
-  run_with ?record sc ~chooser:(fun ~dp ~alts:_ -> Decision.pick_at trace dp)
+let run_once ?record ?prune sc trace =
+  run_with ?record ?prune sc ~chooser:(fun ~dp ~alts:_ ->
+      Decision.pick_at trace dp)
 
 (* --- exhaustive exploration ------------------------------------------- *)
 
 type exhaustive_report = {
   schedules : int;
+  pruned : int;
   exhausted : bool;
   failure : (Decision.t * Violation.t) option;
 }
@@ -190,16 +232,23 @@ type exhaustive_report = {
    its (passing) parent with one extra deviation at a decision point
    after the parent's last one, using the alternative counts the parent's
    run observed — valid because the schedule up to that point is a pure
-   function of the decision prefix. *)
-let exhaustive ?(preemptions = 2) ?(budget = 10_000) sc =
+   function of the decision prefix.
+
+   With [prune], children whose new deviation only commutes with the
+   events it jumps over (see [interferes]) are never enqueued; [pruned]
+   counts them. The pruned BFS visits a subset of the full one and in
+   the same order, so a clean pruned verdict never contradicts the full
+   search, and a failure it finds is a failure of the full search too. *)
+let exhaustive ?(preemptions = 2) ?(budget = 10_000) ?(prune = false) sc =
   let q = Queue.create () in
   Queue.add Decision.default q;
   let schedules = ref 0 in
+  let pruned = ref 0 in
   let failure = ref None in
   while !failure = None && (not (Queue.is_empty q)) && !schedules < budget do
     let trace = Queue.take q in
     incr schedules;
-    let r = run_once sc trace in
+    let r = run_once ~prune sc trace in
     match r.outcome with
     | Fail v -> failure := Some (trace, v)
     | Pass ->
@@ -210,17 +259,20 @@ let exhaustive ?(preemptions = 2) ?(budget = 10_000) sc =
             | d :: _ -> d.Decision.at
           in
           Array.iteri
-            (fun dp alts ->
-              if dp > last then
+            (fun dp kept ->
+              if dp > last then begin
+                pruned := !pruned + Array.length r.dp_alts.(dp) - Array.length kept;
                 Array.iter
                   (fun p ->
                     Queue.add (trace @ [ { Decision.at = dp; pick = p } ]) q)
-                  alts)
-            r.dp_alts
+                  kept
+              end)
+            r.dp_kept
         end
   done;
   {
     schedules = !schedules;
+    pruned = !pruned;
     exhausted = !failure = None && Queue.is_empty q;
     failure = !failure;
   }

@@ -55,31 +55,54 @@ type run = {
   dp_alts : int array array;
       (** per decision point, the candidate indices a deviation may
           pick (non-default, non-timeout). *)
+  dp_kept : int array array;
+      (** [dp_alts] minus prunable alternatives (equal to [dp_alts]
+          when [prune] is off): an alternative is prunable when its
+          event neither shares a thread nor a cache line with any event
+          it would jump over, so promoting it commutes with all of them
+          and yields a schedule equivalent to one reached by deviating
+          later. *)
   steps : Decision.step list;  (** executed events, when [record]. *)
 }
 
 val run_with :
-  ?record:bool -> scenario -> chooser:(dp:int -> alts:int array -> int) ->
+  ?record:bool ->
+  ?prune:bool ->
+  scenario ->
+  chooser:(dp:int -> alts:int array -> int) ->
   run
-(** One run under an online chooser (0 = default choice). *)
+(** One run under an online chooser (0 = default choice). [prune]
+    (default off) populates [dp_kept]; the chooser always sees the full
+    [dp_alts]. *)
 
-val run_once : ?record:bool -> scenario -> Decision.t -> run
+val run_once : ?record:bool -> ?prune:bool -> scenario -> Decision.t -> run
 (** Replay a decision trace. Deterministic: same scenario + same trace =
     same run, bit for bit. *)
 
 type exhaustive_report = {
   schedules : int;  (** runs executed. *)
+  pruned : int;
+      (** child deviations suppressed by the reduction (0 when [prune]
+          is off). *)
   exhausted : bool;
       (** every trace within the preemption bound was run (budget not
-          hit, no failure cut the search short). *)
+          hit, no failure cut the search short); under [prune], modulo
+          the reduction. *)
   failure : (Decision.t * Violation.t) option;
 }
 
 val exhaustive :
-  ?preemptions:int -> ?budget:int -> scenario -> exhaustive_report
+  ?preemptions:int -> ?budget:int -> ?prune:bool -> scenario ->
+  exhaustive_report
 (** BFS over deviation sequences: a child extends a passing parent with
     one deviation at a decision point after the parent's last. Defaults:
-    [preemptions = 2], [budget = 10_000] runs. *)
+    [preemptions = 2], [budget = 10_000] runs, [prune = false].
+
+    [prune] enables a sleep-set-style reduction (see {!run}'s
+    [dp_kept]): the pruned BFS visits a subset of the full search in
+    the same order, so a clean verdict is conserved and any failure it
+    reports is real; completeness under the reduction is validated
+    empirically by the mutant cross-checks in test_explore.ml. *)
 
 type fuzz_report = {
   fuzz_runs : int;

@@ -8,6 +8,7 @@ type line = {
   mutable last_thread : int;
   mutable busy_until : int;
   mutable epoch : int;
+  wq : Waitq.t;
 }
 
 type stats = {
@@ -18,6 +19,7 @@ type stats = {
   mutable memory_misses : int;
   mutable invalidations : int;
   mutable remote_txns : int;
+  mutable waiter_scans : int;
 }
 
 let next_id = Atomic.make 0
@@ -31,6 +33,7 @@ let make_line ?(name = "") () =
     last_thread = -1;
     busy_until = 0;
     epoch = -1;
+    wq = Waitq.create ();
   }
 
 let fresh_stats () =
@@ -42,6 +45,7 @@ let fresh_stats () =
     memory_misses = 0;
     invalidations = 0;
     remote_txns = 0;
+    waiter_scans = 0;
   }
 
 let bit c = 1 lsl c

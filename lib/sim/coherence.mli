@@ -23,6 +23,10 @@ type line = private {
   mutable last_thread : int;  (** last accessing thread, for L1 modelling *)
   mutable busy_until : int;  (** line occupied by a transfer until then *)
   mutable epoch : int;  (** run id; state auto-resets across runs *)
+  wq : Waitq.t;
+      (** threads parked on this line ([Engine]'s wait queue; stored
+          here so a write reaches its waiters with one field load and a
+          waiterless write costs nothing — see waitq.ml). *)
 }
 
 type stats = {
@@ -36,6 +40,10 @@ type stats = {
   mutable invalidations : int;
       (** writes that had to invalidate remote sharers. *)
   mutable remote_txns : int;  (** transactions that crossed the interconnect *)
+  mutable waiter_scans : int;
+      (** writes that found parked waiters and scanned the line's wait
+          queue. Writes to waiterless lines do not count here — and do
+          no lookup and no allocation at all (pinned by test_sim). *)
 }
 
 val make_line : ?name:string -> unit -> line

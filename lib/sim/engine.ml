@@ -52,11 +52,14 @@ let class_to_string = function
   | Timeout -> "timeout"
   | Resume -> "resume"
 
+(* Mutable so explore mode can reuse candidate arrays across steps
+   instead of allocating n records per step (see [run_explore]): the
+   array a policy receives is valid only for the duration of the call. *)
 type candidate = {
-  c_time : int;
-  c_tid : int;
-  c_class : ev_class;
-  c_line : string;
+  mutable c_time : int;
+  mutable c_tid : int;
+  mutable c_class : ev_class;
+  mutable c_line : string;
 }
 
 type policy = step:int -> candidate array -> int
@@ -72,22 +75,25 @@ type pend = {
   pe_run : unit -> unit;
 }
 
+(* The pending set lives in a growable array kept sorted by
+   (time, seq) — the event heap's pop order — so each step presents
+   candidates by straight indexing instead of the former re-sort of a
+   cons list (O(n log n) + three list rebuilds per step). New events
+   always carry the largest seq so far, so the insertion point is the
+   upper bound by time alone. *)
 type explore_state = {
   ex_policy : policy;
-  mutable ex_pending : pend list;
+  mutable ex_pend : pend array;  (* first [ex_n] slots live, sorted *)
+  mutable ex_n : int;
   mutable ex_seq : int;
   mutable ex_steps : int;
+  mutable ex_pool : candidate array array;
+      (* ex_pool.(n), once built, is the reused n-candidate array *)
 }
 
 type mode =
   | Heap of (unit -> unit) Event_heap.t
   | Explore of explore_state
-
-type waiter = {
-  mutable w_active : bool;
-  w_untimed : bool;
-  w_check : unit -> bool;  (* true when the waiter was woken *)
-}
 
 type t = {
   topo : Topology.t;
@@ -95,7 +101,9 @@ type t = {
   mutable now : int;
   cstats : Coherence.stats;
   icx : Interconnect.t;
-  waiters : (int, waiter list ref) Hashtbl.t;
+  mutable wlines : Coherence.line list;
+      (* lines that gained a waiter this run — cleared on exit so parked
+         closures (whole fiber stacks) do not outlive the run *)
   mutable live : int;
   mutable blocked : int;
   mutable events : int;
@@ -108,6 +116,45 @@ let epoch_counter = Atomic.make 0
    line; this placeholder only feeds decision metadata. *)
 let no_line = Coherence.make_line ~name:"(engine)" ()
 
+let nop () = ()
+
+let dummy_pend =
+  {
+    pe_time = 0;
+    pe_seq = -1;
+    pe_tid = -1;
+    pe_class = Start;
+    pe_line = no_line;
+    pe_run = nop;
+  }
+
+let ex_insert ex p =
+  let n = ex.ex_n in
+  if n = Array.length ex.ex_pend then begin
+    let cap' = if n = 0 then 64 else 2 * n in
+    let a' = Array.make cap' dummy_pend in
+    Array.blit ex.ex_pend 0 a' 0 n;
+    ex.ex_pend <- a'
+  end;
+  let a = ex.ex_pend in
+  (* Upper bound by time: first index whose event is later than [p].
+     Entries at p's time all have smaller seqs, so p sorts after them. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid).pe_time <= p.pe_time then lo := mid + 1 else hi := mid
+  done;
+  Array.blit a !lo a (!lo + 1) (n - !lo);
+  a.(!lo) <- p;
+  ex.ex_n <- n + 1
+
+let ex_remove ex i =
+  let a = ex.ex_pend in
+  let n = ex.ex_n - 1 in
+  Array.blit a (i + 1) a i (n - i);
+  a.(n) <- dummy_pend;
+  ex.ex_n <- n
+
 (* The metadata arguments are immediates (or values already in hand), so
    the default heap path allocates and branches exactly as before the
    policy hook existed — golden schedules are preserved structurally, not
@@ -116,7 +163,7 @@ let schedule eng ~tid ~cls ~line time thunk =
   match eng.mode with
   | Heap h -> Event_heap.add h ~time thunk
   | Explore ex ->
-      ex.ex_pending <-
+      ex_insert ex
         {
           pe_time = time;
           pe_seq = ex.ex_seq;
@@ -124,8 +171,7 @@ let schedule eng ~tid ~cls ~line time thunk =
           pe_class = cls;
           pe_line = line;
           pe_run = thunk;
-        }
-        :: ex.ex_pending;
+        };
       ex.ex_seq <- ex.ex_seq + 1
 
 (* Charge a memory access: coherence latency plus interconnect queueing
@@ -143,26 +189,28 @@ let access eng ~cluster ~thread line kind =
 (* A write to [line] completed: wake every parked waiter whose predicate
    now holds. Waiters wake in registration order; each wake performs a
    charged re-read of the line, so a crowd of spinners re-fetches the line
-   serially — modelling coherence arbitration. *)
+   serially — modelling coherence arbitration. The queue lives on the
+   line itself, so the overwhelmingly common waiterless write costs one
+   field load — no table lookup, no allocation (the [waiter_scans]
+   counter pins this: it moves only when a queue is actually walked). *)
 let notify eng line =
-  match Hashtbl.find_opt eng.waiters line.Coherence.id with
-  | None -> ()
-  | Some r ->
-      let remaining =
-        List.filter (fun w -> w.w_active && not (w.w_check ())) !r
-      in
-      r := remaining
+  let q = line.Coherence.wq in
+  if (not (Waitq.is_empty q)) && q.Waitq.epoch = eng.epoch then begin
+    eng.cstats.Coherence.waiter_scans <-
+      eng.cstats.Coherence.waiter_scans + 1;
+    Waitq.wake q
+  end
 
 let add_waiter eng line w =
-  let r =
-    match Hashtbl.find_opt eng.waiters line.Coherence.id with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.add eng.waiters line.Coherence.id r;
-        r
-  in
-  r := !r @ [ w ]
+  let q = line.Coherence.wq in
+  if q.Waitq.epoch <> eng.epoch then begin
+    (* First park on this line this run: claim the queue (dropping any
+       stale dead waiters from an earlier run) and remember to clear it
+       on exit. *)
+    Waitq.reset q ~epoch:eng.epoch;
+    eng.wlines <- line :: eng.wlines
+  end;
+  Waitq.push q w
 
 let handler eng ~tid ~cluster =
   {
@@ -198,9 +246,11 @@ let handler eng ~tid ~cluster =
             Some
               (fun (k : (b, unit) continuation) ->
                 let deadline =
-                  Option.map (fun tmo -> eng.now + max 0 tmo) d.w_timeout
+                  match d.w_timeout with
+                  | None -> -1
+                  | Some tmo -> eng.now + max 0 tmo
                 in
-                let untimed = deadline = None in
+                let untimed = deadline < 0 in
                 let finished = ref false in
                 let cur = ref None in
                 (* A waiter woken by a write re-reads the line (charged) and
@@ -211,14 +261,14 @@ let handler eng ~tid ~cluster =
                 let rec park () =
                   let rec wtr =
                     {
-                      w_active = true;
-                      w_untimed = untimed;
-                      w_check =
+                      Waitq.active = true;
+                      next = Waitq.nil;
+                      check =
                         (fun () ->
                           match d.w_pred () with
                           | None -> false
                           | Some _ ->
-                              wtr.w_active <- false;
+                              wtr.Waitq.active <- false;
                               if untimed then eng.blocked <- eng.blocked - 1;
                               cur := None;
                               let lat =
@@ -241,21 +291,19 @@ let handler eng ~tid ~cluster =
                         continue k r
                     | None -> park ()
                 in
-                Option.iter
-                  (fun dl ->
-                    schedule eng ~tid ~cls:Timeout ~line:d.w_line
-                      (if dl > eng.now then dl else eng.now)
-                      (fun () ->
-                        if not !finished then begin
-                          finished := true;
-                          (match !cur with
-                          | Some w ->
-                              w.w_active <- false;
-                              cur := None
-                          | None -> ());
-                          continue k None
-                        end))
-                  deadline;
+                if not untimed then
+                  schedule eng ~tid ~cls:Timeout ~line:d.w_line
+                    (if deadline > eng.now then deadline else eng.now)
+                    (fun () ->
+                      if not !finished then begin
+                        finished := true;
+                        (match !cur with
+                        | Some w ->
+                            w.Waitq.active <- false;
+                            cur := None
+                        | None -> ());
+                        continue k None
+                      end);
                 let lat =
                   access eng ~cluster ~thread:tid d.w_line Coherence.Read
                 in
@@ -274,49 +322,80 @@ let handler eng ~tid ~cluster =
         | _ -> None);
   }
 
-(* Pop order of the explore-mode pending list: identical to the event
-   heap's (time, seq) order, so a policy that always answers 0 replays
-   the default schedule exactly. *)
-let pend_compare a b =
-  if a.pe_time <> b.pe_time then compare a.pe_time b.pe_time
-  else compare a.pe_seq b.pe_seq
+(* Hand the policy the pending events as candidates, in (time, seq)
+   order — [ex_pend] is already sorted, so this is a straight copy into
+   a per-length array reused across steps. *)
+let ex_candidates ex n =
+  if Array.length ex.ex_pool <= n then begin
+    let cap = max (n + 1) ((2 * Array.length ex.ex_pool) + 1) in
+    let pool' = Array.make cap [||] in
+    Array.blit ex.ex_pool 0 pool' 0 (Array.length ex.ex_pool);
+    ex.ex_pool <- pool'
+  end;
+  if Array.length ex.ex_pool.(n) <> n then
+    ex.ex_pool.(n) <-
+      Array.init n (fun _ ->
+          { c_time = 0; c_tid = -1; c_class = Start; c_line = "" });
+  let cands = ex.ex_pool.(n) in
+  for i = 0 to n - 1 do
+    let p = ex.ex_pend.(i) in
+    let c = cands.(i) in
+    c.c_time <- p.pe_time;
+    c.c_tid <- p.pe_tid;
+    c.c_class <- p.pe_class;
+    c.c_line <- p.pe_line.Coherence.name
+  done;
+  cands
 
 let run_explore eng ex ~n_threads ~max_events =
   let hit_cap = ref false in
   let stop = ref false in
   while not !stop do
-    match ex.ex_pending with
-    | [] -> stop := true
-    | pending -> (
-        match max_events with
-        | Some m when eng.events >= m ->
-            hit_cap := true;
-            stop := true
-        | _ ->
-            let sorted = List.sort pend_compare pending in
-            let cands =
-              Array.of_list
-                (List.map
-                   (fun p ->
-                     {
-                       c_time = p.pe_time;
-                       c_tid = p.pe_tid;
-                       c_class = p.pe_class;
-                       c_line = p.pe_line.Coherence.name;
-                     })
-                   sorted)
-            in
-            let idx = ex.ex_policy ~step:ex.ex_steps cands in
-            let idx = if idx < 0 || idx >= Array.length cands then 0 else idx in
-            ex.ex_steps <- ex.ex_steps + 1;
-            let chosen = List.nth sorted idx in
-            ex.ex_pending <-
-              List.filter (fun p -> p.pe_seq <> chosen.pe_seq) pending;
-            if chosen.pe_time > eng.now then eng.now <- chosen.pe_time;
-            eng.events <- eng.events + 1;
-            chosen.pe_run ())
+    if ex.ex_n = 0 then stop := true
+    else
+      match max_events with
+      | Some m when eng.events >= m ->
+          hit_cap := true;
+          stop := true
+      | _ ->
+          let n = ex.ex_n in
+          let cands = ex_candidates ex n in
+          let idx = ex.ex_policy ~step:ex.ex_steps cands in
+          let idx = if idx < 0 || idx >= n then 0 else idx in
+          ex.ex_steps <- ex.ex_steps + 1;
+          let chosen = ex.ex_pend.(idx) in
+          ex_remove ex idx;
+          if chosen.pe_time > eng.now then eng.now <- chosen.pe_time;
+          eng.events <- eng.events + 1;
+          chosen.pe_run ()
   done;
   if (not !hit_cap) && eng.live > 0 then
+    raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
+  {
+    end_time = eng.now;
+    coherence = eng.cstats;
+    events = eng.events;
+    threads_finished = n_threads - eng.live;
+  }
+
+let run_heap eng heap ~n_threads ~horizon =
+  let hit_horizon = ref false in
+  let stop = ref false in
+  while not !stop do
+    let t = Event_heap.min_time heap in
+    if t = max_int then stop := true
+    else
+      match horizon with
+      | Some h when t > h ->
+          hit_horizon := true;
+          stop := true
+      | _ ->
+          let thunk = Event_heap.pop heap in
+          if t > eng.now then eng.now <- t;
+          eng.events <- eng.events + 1;
+          thunk ()
+  done;
+  if (not !hit_horizon) && eng.live > 0 then
     raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
   {
     end_time = eng.now;
@@ -334,9 +413,17 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events body =
          (Topology.total_threads topology));
   let mode =
     match policy with
-    | None -> Heap (Event_heap.create ())
+    | None -> Heap (Event_heap.create ~dummy:nop)
     | Some p ->
-        Explore { ex_policy = p; ex_pending = []; ex_seq = 0; ex_steps = 0 }
+        Explore
+          {
+            ex_policy = p;
+            ex_pend = [||];
+            ex_n = 0;
+            ex_seq = 0;
+            ex_steps = 0;
+            ex_pool = [||];
+          }
   in
   let eng =
     {
@@ -345,7 +432,7 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events body =
       now = 0;
       cstats = Coherence.fresh_stats ();
       icx = Interconnect.create topology.latency;
-      waiters = Hashtbl.create 64;
+      wlines = [];
       live = n_threads;
       blocked = 0;
       events = 0;
@@ -358,30 +445,14 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events body =
     schedule eng ~tid ~cls:Start ~line:no_line tid (fun () ->
         match_with (fun () -> body ~tid ~cluster) () (handler eng ~tid ~cluster))
   done;
-  match eng.mode with
-  | Explore ex -> run_explore eng ex ~n_threads ~max_events
-  | Heap heap ->
-      let hit_horizon = ref false in
-      let stop = ref false in
-      while not !stop do
-        match Event_heap.pop heap with
-        | None -> stop := true
-        | Some (t, thunk) -> (
-            match horizon with
-            | Some h when t > h ->
-                hit_horizon := true;
-                stop := true
-            | _ ->
-                if t > eng.now then eng.now <- t;
-                eng.events <- eng.events + 1;
-                thunk ())
-      done;
-      if (not !hit_horizon) && eng.live > 0 then
-        raise
-          (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
-      {
-        end_time = eng.now;
-        coherence = eng.cstats;
-        events = eng.events;
-        threads_finished = n_threads - eng.live;
-      }
+  Fun.protect
+    ~finally:(fun () ->
+      (* Waiters still parked (deadlock, horizon, event cap) or parked
+         dead (woken but never unlinked) hold continuations; don't let
+         them leak past the run through long-lived lock lines. *)
+      List.iter (fun l -> Waitq.clear l.Coherence.wq) eng.wlines;
+      eng.wlines <- [])
+    (fun () ->
+      match eng.mode with
+      | Explore ex -> run_explore eng ex ~n_threads ~max_events
+      | Heap heap -> run_heap eng heap ~n_threads ~horizon)

@@ -51,16 +51,22 @@ type ev_class =
 val class_to_string : ev_class -> string
 
 type candidate = {
-  c_time : int;  (** scheduled simulated time. *)
-  c_tid : int;  (** thread the event belongs to. *)
-  c_class : ev_class;
-  c_line : string;  (** name of the cache line involved, or ["(engine)"]. *)
+  mutable c_time : int;  (** scheduled simulated time. *)
+  mutable c_tid : int;  (** thread the event belongs to. *)
+  mutable c_class : ev_class;
+  mutable c_line : string;
+      (** name of the cache line involved, or ["(engine)"]. *)
 }
+(** Fields are mutable because the engine reuses candidate arrays across
+    steps: the array a policy receives is valid only for the duration of
+    that call. Policies that retain candidates must copy the scalar
+    fields out (every in-tree policy does). *)
 
 type policy = step:int -> candidate array -> int
 (** [policy ~step candidates] returns the index of the event to run at
     decision [step] (0-based, counted over every event including forced
-    singleton choices). The candidate array is never empty. *)
+    singleton choices). The candidate array is never empty and is owned
+    by the engine — see {!candidate}. *)
 
 val run :
   topology:Numa_base.Topology.t ->

@@ -1,75 +1,137 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* 4-ary min-heap over three parallel arrays: an entry is the triple
+   (times.(i), seqs.(i), pays.(i)).
+
+   The layout and shape are chosen for the engine's hot loop, which
+   pushes and pops one event per simulated memory operation:
+   - [times] and [seqs] are unboxed int arrays, so sifting moves machine
+     words with no write barrier; only the single payload store per
+     add/pop touches the barrier;
+   - the heap is 4-ary: half the depth of a binary heap, and the four
+     children of a node sit in adjacent slots (one cache line of
+     [times]), which is where pop's child-minimum scan spends its time;
+   - [add] and [pop] allocate nothing (amortising growth): the old
+     per-entry record and the [Some (time, payload)] result tuple were
+     two short-lived allocations per simulated event;
+   - sifting is hole-based: the moving element is held in locals and
+     written once at its final slot instead of swapping at every level;
+   - array accesses in the sift loops are unchecked ([Array.unsafe_*]).
+     Indices are bounded by [n <= Array.length] arithmetic alone; the
+     qcheck suite in test_event_heap.ml exercises growth and drain
+     order to back this up.
+
+   Pop order is a pure function of the key set: keys (time, seq) are
+   unique (seq increments per add), so any valid min-heap arrangement
+   pops the same sequence — internal shape changes cannot perturb
+   engine schedules.
+
+   Vacated payload slots are overwritten with [dummy] so popped or
+   cleared closures (thread continuations, captured lock state) do not
+   stay reachable from the backing array. *)
 
 type 'a t = {
-  mutable a : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable pays : 'a array;
   mutable n : int;
   mutable next_seq : int;
+  dummy : 'a;
 }
 
-let create () = { a = [||]; n = 0; next_seq = 0 }
+let create ~dummy =
+  { times = [||]; seqs = [||]; pays = [||]; n = 0; next_seq = 0; dummy }
+
 let size t = t.n
 let is_empty t = t.n = 0
 
-let less e1 e2 = e1.time < e2.time || (e1.time = e2.time && e1.seq < e2.seq)
-
 let grow t =
-  let cap = Array.length t.a in
+  let cap = Array.length t.times in
   let cap' = if cap = 0 then 64 else 2 * cap in
-  (* The dummy slot is never read: [n] bounds all accesses. *)
-  let dummy = t.a.(0) in
-  let a' = Array.make cap' dummy in
-  Array.blit t.a 0 a' 0 t.n;
-  t.a <- a'
+  let times' = Array.make cap' 0 in
+  let seqs' = Array.make cap' 0 in
+  let pays' = Array.make cap' t.dummy in
+  Array.blit t.times 0 times' 0 t.n;
+  Array.blit t.seqs 0 seqs' 0 t.n;
+  Array.blit t.pays 0 pays' 0 t.n;
+  t.times <- times';
+  t.seqs <- seqs';
+  t.pays <- pays'
+
+(* Node i's children are 4i+1 .. 4i+4; its parent is (i-1)/4. *)
 
 let add t ~time payload =
-  let e = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  if t.n = 0 && Array.length t.a = 0 then t.a <- Array.make 64 e
-  else if t.n = Array.length t.a then grow t;
-  (* Sift up. *)
-  let a = t.a in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.n = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and pays = t.pays in
+  (* Sift up with a hole: move greater parents down, place once. *)
   let i = ref t.n in
   t.n <- t.n + 1;
-  a.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if less a.(!i) a.(parent) then begin
-      let tmp = a.(parent) in
-      a.(parent) <- a.(!i);
-      a.(!i) <- tmp;
+    let parent = (!i - 1) / 4 in
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set pays !i (Array.unsafe_get pays parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set pays !i payload
+
+let min_time t = if t.n = 0 then max_int else Array.unsafe_get t.times 0
 
 let pop t =
-  if t.n = 0 then None
+  if t.n = 0 then invalid_arg "Event_heap.pop: empty heap";
+  let times = t.times and seqs = t.seqs and pays = t.pays in
+  let top = Array.unsafe_get pays 0 in
+  let n = t.n - 1 in
+  t.n <- n;
+  if n = 0 then Array.unsafe_set pays 0 t.dummy
   else begin
-    let a = t.a in
-    let top = a.(0) in
-    t.n <- t.n - 1;
-    if t.n > 0 then begin
-      a.(0) <- a.(t.n);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.n && less a.(l) a.(!smallest) then smallest := l;
-        if r < t.n && less a.(r) a.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = a.(!smallest) in
-          a.(!smallest) <- a.(!i);
-          a.(!i) <- tmp;
-          i := !smallest
+    (* Move the last entry into the root's hole, sifting the hole down
+       past the smallest child while that child is smaller. *)
+    let mt = Array.unsafe_get times n and ms = Array.unsafe_get seqs n in
+    let mp = Array.unsafe_get pays n in
+    Array.unsafe_set pays n t.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let base = (4 * !i) + 1 in
+      if base >= n then continue := false
+      else begin
+        (* Smallest of the up-to-four children. *)
+        let last = base + 3 in
+        let last = if last < n then last else n - 1 in
+        let c = ref base in
+        let ct = ref (Array.unsafe_get times base) in
+        let cs = ref (Array.unsafe_get seqs base) in
+        for j = base + 1 to last do
+          let jt = Array.unsafe_get times j in
+          if jt < !ct || (jt = !ct && Array.unsafe_get seqs j < !cs) then begin
+            c := j;
+            ct := jt;
+            cs := Array.unsafe_get seqs j
+          end
+        done;
+        if !ct < mt || (!ct = mt && !cs < ms) then begin
+          Array.unsafe_set times !i !ct;
+          Array.unsafe_set seqs !i !cs;
+          Array.unsafe_set pays !i (Array.unsafe_get pays !c);
+          i := !c
         end
         else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
-  end
+      end
+    done;
+    Array.unsafe_set times !i mt;
+    Array.unsafe_set seqs !i ms;
+    Array.unsafe_set pays !i mp
+  end;
+  top
 
-let peek_time t = if t.n = 0 then None else Some t.a.(0).time
-let clear t = t.n <- 0
+let clear t =
+  Array.fill t.pays 0 t.n t.dummy;
+  t.n <- 0

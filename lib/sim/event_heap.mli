@@ -1,20 +1,37 @@
 (** Binary min-heap of timestamped events.
 
     Events with equal timestamps pop in insertion (FIFO) order, which
-    makes the simulation fully deterministic. *)
+    makes the simulation fully deterministic.
+
+    The API is allocation-free on the hot path: {!add} and {!pop} cons
+    nothing (growth of the backing arrays aside), and emptiness is
+    signalled by the {!min_time} sentinel rather than an option. Slots
+    vacated by {!pop} and {!clear} are overwritten with the [dummy]
+    payload, so dead payloads (closures holding continuations and lock
+    state) are not retained by the backing array. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated and never-used slots. It must not retain
+    anything worth collecting (use e.g. [ignore] or [fun () -> ()]). *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> time:int -> 'a -> unit
-(** O(log n). *)
+(** O(log n), allocation-free (amortising growth). *)
 
-val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest event as [(time, payload)]. O(log n). *)
+val min_time : 'a t -> int
+(** Time of the earliest event, or [max_int] when the heap is empty —
+    an exception-free, allocation-free emptiness sentinel. Event times
+    must therefore be [< max_int]. *)
 
-val peek_time : 'a t -> int option
+val pop : 'a t -> 'a
+(** Remove the earliest event and return its payload. O(log n),
+    allocation-free. Callers check {!is_empty} (or {!min_time}) first.
+
+    @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empty the heap and blank every live payload slot with [dummy]. *)

@@ -1,14 +1,28 @@
 type line = Coherence.line
-type 'a cell = { v : 'a ref; cline : Coherence.line }
+
+(* [r_eff] is the cell's read, performed verbatim on every [read]: a
+   read's op record, closure and effect box are all invariant for a
+   given cell, and reads dominate simulated instruction streams
+   (spinning, lock-word polling), so building them per call was the
+   single largest allocation in the hot path. The payloads of the other
+   primitives depend on call arguments and are built per call. *)
+type 'a cell = { v : 'a ref; cline : Coherence.line; r_eff : 'a Effect.t }
+
+let mk_cell cline v =
+  let v = ref v in
+  {
+    v;
+    cline;
+    r_eff =
+      Engine.Op
+        { o_line = cline; o_kind = Coherence.Read; o_run = (fun () -> !v) };
+  }
 
 let line ?name () = Coherence.make_line ?name ()
-let cell cline v = { v = ref v; cline }
-let cell' ?name v = { v = ref v; cline = Coherence.make_line ?name () }
+let cell cline v = mk_cell cline v
+let cell' ?name v = mk_cell (Coherence.make_line ?name ()) v
 
-let read c =
-  Effect.perform
-    (Engine.Op
-       { o_line = c.cline; o_kind = Coherence.Read; o_run = (fun () -> !(c.v)) })
+let read c = Effect.perform c.r_eff
 
 let write c x =
   Effect.perform

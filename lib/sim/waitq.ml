@@ -1,0 +1,82 @@
+(* Per-line waiter queue: a singly-linked FIFO with a tail pointer,
+   embedded in every [Coherence.line].
+
+   This replaces the engine's former [(line-id -> waiter list ref)
+   Hashtbl], whose [r := !r @ [w]] append was O(waiters) per park (O(n²)
+   for a crowd joining one line) and whose [Hashtbl.find_opt] ran on
+   every write — including the overwhelmingly common case of a line
+   nobody waits on. With the queue on the line itself, a write's waiter
+   check is one field load, parking is a constant-time tail append, and
+   a wake scan unlinks in place: no allocation anywhere.
+
+   Links use the [nil] sentinel (physical equality) instead of [option]
+   so that linking and unlinking never allocates.
+
+   Queues outlive an engine run only as dead storage: [epoch] tags the
+   run that last touched the queue, and a queue whose epoch differs from
+   the current run's is logically empty (see [Engine.add_waiter], which
+   resets it before the first park of a run). *)
+
+type waiter = {
+  mutable active : bool;
+      (** cleared when the waiter is woken or its timeout fires; an
+          inactive waiter is unlinked by the next scan that reaches it. *)
+  check : unit -> bool;
+      (** re-evaluate the predicate after a write to the line; [true]
+          means the waiter woke (and deactivated itself) — unlink it. *)
+  mutable next : waiter;  (** [nil]-terminated. *)
+}
+
+let rec nil = { active = false; check = (fun () -> false); next = nil }
+
+type t = {
+  mutable head : waiter;
+  mutable tail : waiter;
+  mutable epoch : int;  (** run that owns the contents; [min_int] = none *)
+}
+
+let create () = { head = nil; tail = nil; epoch = min_int }
+
+let is_empty q = q.head == nil
+
+let clear q =
+  q.head <- nil;
+  q.tail <- nil;
+  q.epoch <- min_int
+
+let reset q ~epoch =
+  q.head <- nil;
+  q.tail <- nil;
+  q.epoch <- epoch
+
+let push q w =
+  if q.head == nil then begin
+    q.head <- w;
+    q.tail <- w
+  end
+  else begin
+    q.tail.next <- w;
+    q.tail <- w
+  end
+
+(* A write to the line landed: walk the queue in registration order,
+   unlinking waiters that are no longer active and waiters whose [check]
+   fires (each check charges its own re-read, so a crowd re-fetches the
+   line serially — see the notify comment in engine.ml). [check] never
+   touches waiter queues (it only schedules future engine events), so
+   in-place unlinking during the walk is safe. *)
+let wake q =
+  let prev = ref nil in
+  let w = ref q.head in
+  while !w != nil do
+    let cur = !w in
+    let next = cur.next in
+    let keep = cur.active && not (cur.check ()) in
+    if keep then prev := cur
+    else begin
+      if !prev == nil then q.head <- next else !prev.next <- next;
+      if next == nil then q.tail <- !prev;
+      cur.next <- nil
+    end;
+    w := next
+  done

@@ -9,9 +9,15 @@
 #   2. fixed-seed torture smoke (50 random schedules, seed 42)
 #   3. explorer smoke: exhaustive schedule exploration of C-BO-MCS must
 #      be clean, and the skip-limit mutant must be caught
-#   4. quick sim benchmark, emitting a cohort-bench JSON artifact
-#   5. determinism guard: re-run the same seed, byte-compare artifacts
-#   6. regression gate: bench_diff against the newest committed
+#   4. engine host-throughput smoke (enginebench --smoke): NON-gating on
+#      the numbers — host wall-clock is noisy — it only has to run; the
+#      figures land in the log for eyeballing trends
+#   5. quick sim benchmark, emitting a cohort-bench JSON artifact
+#   6. determinism guard: re-run the same seed, byte-compare artifacts.
+#      Only the freshly emitted BENCH artifacts participate; committed
+#      HOSTPERF_*.json files measure host wall-clock and are never
+#      byte-compared (the regression gate globs BENCH_*.json only)
+#   7. regression gate: bench_diff against the newest committed
 #      BENCH_*.json (>10% throughput drop on any entry fails)
 #
 # When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
@@ -23,6 +29,7 @@ set -euo pipefail
 if [[ -n "${INSIDE_DUNE:-}" ]]; then
   torture() { bin/torture.exe "$@"; }
   explore() { bin/explore.exe "$@"; }
+  enginebench() { bin/enginebench.exe "$@"; }
   bench() { bench/main.exe "$@"; }
   bench_diff() { bin/bench_diff.exe "$@"; }
 else
@@ -33,6 +40,7 @@ else
   dune runtest --force
   torture() { dune exec --no-build bin/torture.exe -- "$@"; }
   explore() { dune exec --no-build bin/explore.exe -- "$@"; }
+  enginebench() { dune exec --no-build bin/enginebench.exe -- "$@"; }
   bench() { dune exec --no-build bench/main.exe -- "$@"; }
   bench_diff() { dune exec --no-build bin/bench_diff.exe -- "$@"; }
 fi
@@ -45,6 +53,9 @@ torture 50 42
 
 echo "== ci: explorer smoke (exhaustive C-BO-MCS + skip-limit mutant)"
 explore --quick
+
+echo "== ci: engine host-throughput smoke (informational, non-gating)"
+enginebench --smoke
 
 echo "== ci: quick sim benchmark -> BENCH_head.json"
 bench quick --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"

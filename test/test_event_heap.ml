@@ -1,0 +1,201 @@
+(* Event_heap property suite. The heap's sift loops use unchecked array
+   accesses (Array.unsafe_get/set) for the engine hot path; this suite
+   is the
+   safety net backing that choice: randomized drains exercise growth
+   well past the initial 64-slot capacity, interleaved add/pop/clear
+   sequences, and the exact (time, seq) FIFO tie-break the golden
+   schedules depend on.
+
+   Also here: the payload-retention regression tests (popped and cleared
+   slots must not keep closures reachable from the backing array) and a
+   differential check that heap mode and explore mode under the
+   identity policy execute the same program identically — the invariant
+   that lets the explorer reuse every engine pin. *)
+
+open Numa_base
+module E = Numasim.Engine
+module M = Numasim.Sim_mem
+module H = Numasim.Event_heap
+
+(* --- drain order: strict (time, seq) ----------------------------------- *)
+
+(* Payloads record insertion order, so a drain checks both keys at once:
+   times must be nondecreasing, and ties must pop in insertion order.
+   The expected sequence is exactly a stable sort of the input. *)
+let drain_matches_stable_sort times =
+  let h = H.create ~dummy:(-1) in
+  List.iteri (fun i t -> H.add h ~time:t i) times;
+  let n = List.length times in
+  let out = ref [] in
+  while not (H.is_empty h) do
+    let t = H.min_time h in
+    let i = H.pop h in
+    out := (t, i) :: !out
+  done;
+  let got = List.rev !out in
+  let expected =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> compare t1 t2)
+      (List.mapi (fun i t -> (t, i)) times)
+  in
+  H.size h = 0 && List.length got = n && got = expected
+
+let prop_drain_order =
+  (* Lists up to ~300 entries: growth doubles 64 -> 128 -> 256 under
+     test, with a narrow time range so ties are plentiful. *)
+  QCheck.Test.make ~name:"drain = stable sort by time" ~count:300
+    QCheck.(list_of_size (Gen.int_bound 300) (int_bound 50))
+    drain_matches_stable_sort
+
+let prop_interleaved =
+  (* Random add/pop interleavings against a reference list model. *)
+  QCheck.Test.make ~name:"interleaved add/pop matches model" ~count:300
+    QCheck.(list_of_size (Gen.int_bound 200) (option (int_bound 20)))
+    (fun script ->
+      (* [Some t] = add at time t; [None] = pop (if non-empty). The model
+         is a sorted association list keyed by (time, seq). *)
+      let h = H.create ~dummy:(-1) in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun step ->
+          match step with
+          | Some t ->
+              H.add h ~time:t !seq;
+              model :=
+                List.merge
+                  (fun (k1, _) (k2, _) -> compare k1 k2)
+                  !model
+                  [ ((t, !seq), !seq) ];
+              incr seq
+          | None -> (
+              match !model with
+              | [] -> if not (H.is_empty h) then ok := false
+              | ((t, _), payload) :: rest ->
+                  model := rest;
+                  if H.min_time h <> t || H.pop h <> payload then ok := false))
+        script;
+      !ok && H.size h = List.length !model)
+
+let prop_clear_reuse =
+  QCheck.Test.make ~name:"clear then reuse drains correctly" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_bound 150) (int_bound 30))
+              (list_of_size (Gen.int_bound 150) (int_bound 30)))
+    (fun (batch1, batch2) ->
+      let h = H.create ~dummy:(-1) in
+      List.iteri (fun i t -> H.add h ~time:t i) batch1;
+      H.clear h;
+      let base = List.length batch1 in
+      List.iteri (fun i t -> H.add h ~time:t (base + i)) batch2;
+      let out = ref [] in
+      while not (H.is_empty h) do
+        out := H.pop h :: !out
+      done;
+      let expected =
+        List.map snd
+          (List.stable_sort
+             (fun (t1, _) (t2, _) -> compare t1 t2)
+             (List.mapi (fun i t -> (t, base + i)) batch2))
+      in
+      List.rev !out = expected)
+
+(* --- payload retention -------------------------------------------------- *)
+
+(* Popped and cleared slots are overwritten with [dummy]; otherwise the
+   backing array would pin every thread continuation a run ever
+   scheduled. Observed through weak pointers: once the only strong
+   reference is (potentially) the heap's array, a major GC must reclaim
+   the payloads while the heap itself stays live. *)
+let payloads_unreachable ~via () =
+  let h = H.create ~dummy:[||] in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let p = Array.make 4 i in
+    Weak.set weak i (Some p);
+    H.add h ~time:i p
+  done;
+  (match via with
+  | `Pop ->
+      while not (H.is_empty h) do
+        ignore (H.pop h)
+      done
+  | `Clear -> H.clear h);
+  Gc.full_major ();
+  for i = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d reclaimed" i)
+      false
+      (Weak.check weak i)
+  done;
+  (* The heap must still be usable — its arrays were retained. *)
+  H.add h ~time:1 [| 42 |];
+  Alcotest.(check int) "heap still works" 42 (H.pop h).(0)
+
+(* --- heap mode vs explore mode ------------------------------------------ *)
+
+(* The explorer's index-0 policy must replay the default (heap) schedule
+   exactly: same event order, same timings, same observed values. Random
+   programs of reads/writes/CAS/pauses over shared cells, logging
+   (tid, now, observation) at every step. *)
+let random_program rng ~steps () =
+  let log = ref [] in
+  let cells = Array.init 4 (fun _ -> M.cell' 0) in
+  let body ~tid ~cluster:_ =
+    let r = Prng.create (Prng.int rng 1_000_000 + tid) in
+    for _ = 1 to steps do
+      let c = cells.(Prng.int r (Array.length cells)) in
+      let obs =
+        match Prng.int r 4 with
+        | 0 -> M.read c
+        | 1 ->
+            M.write c tid;
+            -1
+        | 2 -> if M.cas c ~expect:(M.read c) ~desire:tid then -2 else -3
+        | _ ->
+            M.pause (Prng.int r 50);
+            -4
+      in
+      log := (tid, M.now (), obs) :: !log
+    done
+  in
+  (body, log)
+
+let diff_heap_vs_explore () =
+  let rng = Prng.create 2026 in
+  for case = 1 to 10 do
+    let seed = Prng.int rng 1_000_000 in
+    let run policy =
+      let body, log = random_program (Prng.create seed) ~steps:25 () in
+      let r = E.run ~topology:Topology.small ~n_threads:4 ?policy body in
+      ((r.E.end_time, r.E.events, r.E.threads_finished), List.rev !log)
+    in
+    let heap_r, heap_log = run None in
+    let ex_r, ex_log = run (Some (fun ~step:_ _ -> 0)) in
+    Alcotest.(check (triple int int int))
+      (Printf.sprintf "case %d: result fields identical" case)
+      heap_r ex_r;
+    Alcotest.(check (list (triple int int int)))
+      (Printf.sprintf "case %d: event log identical" case)
+      heap_log ex_log
+  done
+
+let () =
+  Alcotest.run "event_heap"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_drain_order; prop_interleaved; prop_clear_reuse ] );
+      ( "retention",
+        [
+          Alcotest.test_case "pop blanks payload slots" `Quick
+            (payloads_unreachable ~via:`Pop);
+          Alcotest.test_case "clear blanks payload slots" `Quick
+            (payloads_unreachable ~via:`Clear);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "heap mode = explore mode under index-0 policy"
+            `Quick diff_heap_vs_explore;
+        ] );
+    ]

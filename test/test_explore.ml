@@ -41,11 +41,44 @@ let cbomcs_deep () =
   | Some (_, v) -> Alcotest.failf "C-BO-MCS: %s" (V.to_string v));
   Alcotest.(check int) "schedule count (golden)" 4314 r.E.schedules
 
+(* --- Pruning: sound (same verdicts) and effective (fewer schedules) ----- *)
+
+(* The commuting-deviation reduction must preserve the deep pin's clean
+   verdict while visiting strictly fewer schedules. The pruned count is
+   pinned like the full one: both are pure functions of the lock's
+   accesses and the latency model. *)
+let cbomcs_deep_pruned () =
+  let sc = E.scenario (Option.get (R.find "C-BO-MCS")).R.lock in
+  let r = E.exhaustive ~preemptions:2 ~budget:10_000 ~prune:true sc in
+  Alcotest.(check bool) "exhausted" true r.E.exhausted;
+  (match r.E.failure with
+  | None -> ()
+  | Some (_, v) -> Alcotest.failf "C-BO-MCS pruned: %s" (V.to_string v));
+  Alcotest.(check int) "pruned schedule count (golden)" 1398 r.E.schedules;
+  Alcotest.(check int) "deviations pruned (golden)" 1334 r.E.pruned
+
+let registry_clean_pruned (e : R.entry) () =
+  let sc = E.scenario e.R.lock in
+  let full = E.exhaustive ~preemptions:1 ~budget:5_000 sc in
+  let pruned = E.exhaustive ~preemptions:1 ~budget:5_000 ~prune:true sc in
+  Alcotest.(check bool)
+    (e.R.name ^ ": pruned search exhausted")
+    true pruned.E.exhausted;
+  (match pruned.E.failure with
+  | None -> ()
+  | Some (trace, v) ->
+      Alcotest.failf "%s: pruned false positive on trace %s: %s" e.R.name
+        (D.to_string trace) (V.to_string v));
+  Alcotest.(check bool)
+    (e.R.name ^ ": pruning visits strictly fewer schedules")
+    true
+    (pruned.E.schedules < full.E.schedules && pruned.E.pruned > 0)
+
 (* --- Mutants: caught, shrunk, pinned, replayable ------------------------ *)
 
-let catch_mutant lock ~invariant ~pin () =
+let catch_mutant ?(prune = false) lock ~invariant ~pin () =
   let sc = E.scenario lock in
-  let r = E.exhaustive ~preemptions:2 ~budget:5_000 sc in
+  let r = E.exhaustive ~preemptions:2 ~budget:5_000 ~prune sc in
   match r.E.failure with
   | None -> Alcotest.fail "mutant escaped exhaustive exploration"
   | Some (trace, v) ->
@@ -86,6 +119,23 @@ let mutant_cases =
       (catch_mutant Mut.late_reset ~invariant:"deadlock" ~pin:"0:1,5:1");
   ]
 
+(* Cross-check: the reduction keeps every mutant catchable with the SAME
+   shrunk counterexample as the full search — empirical completeness
+   evidence for the pruning rule (notably the Rmw-promotion exemption,
+   which MCS!late-reset's pinned trace depends on). *)
+let mutant_cases_pruned =
+  [
+    Alcotest.test_case "C-BO-MCS!skip-limit (pruned)" `Quick
+      (catch_mutant ~prune:true Mut.skip_limit
+         ~invariant:"cohort-handoff-limit" ~pin:"default");
+    Alcotest.test_case "TKT!lost-ticket (pruned)" `Quick
+      (catch_mutant ~prune:true Mut.lost_ticket ~invariant:"fifo"
+         ~pin:"default");
+    Alcotest.test_case "MCS!late-reset (pruned)" `Quick
+      (catch_mutant ~prune:true Mut.late_reset ~invariant:"deadlock"
+         ~pin:"0:1,5:1");
+  ]
+
 (* --- Fuzzing ------------------------------------------------------------- *)
 
 (* Weighted-random schedules: clean on a genuine lock, and any failure it
@@ -122,7 +172,16 @@ let () =
           R.all_locks );
       ( "deep",
         [ Alcotest.test_case "C-BO-MCS preemptions=2" `Quick cbomcs_deep ] );
+      ( "pruning",
+        Alcotest.test_case "C-BO-MCS preemptions=2 (pruned)" `Quick
+          cbomcs_deep_pruned
+        :: List.map
+             (fun (e : R.entry) ->
+               Alcotest.test_case (e.R.name ^ " (pruned)") `Quick
+                 (registry_clean_pruned e))
+             R.all_locks );
       ("mutants", mutant_cases);
+      ("mutants_pruned", mutant_cases_pruned);
       ( "fuzz",
         [
           Alcotest.test_case "genuine lock clean" `Quick fuzz_clean;

@@ -10,47 +10,48 @@ let topo = Topology.small
 (* --- Event heap ------------------------------------------------------- *)
 
 let test_heap_order () =
-  let h = H.create () in
+  let h = H.create ~dummy:(-1) in
   List.iter (fun t -> H.add h ~time:t t) [ 5; 1; 9; 3; 3; 0; 7 ];
   let out = ref [] in
-  let rec drain () =
-    match H.pop h with
-    | None -> ()
-    | Some (_, v) ->
-        out := v :: !out;
-        drain ()
-  in
-  drain ();
+  while not (H.is_empty h) do
+    out := H.pop h :: !out
+  done;
   Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (List.rev !out)
 
 let test_heap_fifo_ties () =
-  let h = H.create () in
+  let h = H.create ~dummy:(-1) in
   List.iteri (fun i () -> H.add h ~time:42 i) [ (); (); (); () ];
-  let order = List.init 4 (fun _ -> snd (Option.get (H.pop h))) in
+  let order = List.init 4 (fun _ -> H.pop h) in
   Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3 ] order
 
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list small_nat)
     (fun times ->
-      let h = H.create () in
+      let h = H.create ~dummy:(-1) in
       List.iter (fun t -> H.add h ~time:t t) times;
       let rec drain acc =
-        match H.pop h with None -> List.rev acc | Some (t, _) -> drain (t :: acc)
+        if H.is_empty h then List.rev acc
+        else
+          let t = H.min_time h in
+          let _ = H.pop h in
+          drain (t :: acc)
       in
       drain [] = List.sort compare times)
 
 let test_heap_peek_clear () =
-  let h = H.create () in
-  Alcotest.(check (option int)) "peek empty" None (H.peek_time h);
+  let h = H.create ~dummy:0 in
+  Alcotest.(check int) "min_time empty" max_int (H.min_time h);
   Alcotest.(check bool) "is_empty" true (H.is_empty h);
-  H.add h ~time:7 ();
-  H.add h ~time:3 ();
-  Alcotest.(check (option int)) "peek min" (Some 3) (H.peek_time h);
+  H.add h ~time:7 1;
+  H.add h ~time:3 2;
+  Alcotest.(check int) "min_time" 3 (H.min_time h);
   Alcotest.(check int) "size" 2 (H.size h);
   H.clear h;
   Alcotest.(check bool) "cleared" true (H.is_empty h);
-  Alcotest.(check bool) "pop after clear" true (H.pop h = None)
+  Alcotest.check_raises "pop after clear"
+    (Invalid_argument "Event_heap.pop: empty heap") (fun () ->
+      ignore (H.pop h))
 
 (* --- Engine basics ----------------------------------------------------- *)
 
@@ -396,6 +397,37 @@ let test_events_counted () =
   in
   Alcotest.(check bool) "events recorded" true (r.E.events >= 20)
 
+let test_waiter_scans_counted () =
+  (* Writes to lines nobody waits on must skip the waiter machinery
+     entirely: the zero-waiter fast path is a single field load, counted
+     by [waiter_scans] staying at 0. A parked waiter makes the next
+     satisfying write scan the queue, bumping the counter. *)
+  let no_waiters =
+    let c = M.cell' 0 in
+    let r =
+      E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+          for i = 1 to 50 do
+            M.write c ((tid * 100) + i)
+          done)
+    in
+    r.E.coherence.Numasim.Coherence.waiter_scans
+  in
+  Alcotest.(check int) "writes without waiters scan nothing" 0 no_waiters;
+  let with_waiter =
+    let flag = M.cell' 0 in
+    let r =
+      E.run ~topology:topo ~n_threads:2 (fun ~tid ~cluster:_ ->
+          if tid = 0 then begin
+            M.pause 5_000;
+            M.write flag 1
+          end
+          else ignore (M.wait_until flag (fun v -> v = 1)))
+    in
+    r.E.coherence.Numasim.Coherence.waiter_scans
+  in
+  Alcotest.(check bool)
+    "write over a parked waiter scans the queue" true (with_waiter >= 1)
+
 let suite =
   [
     ( "event_heap",
@@ -434,6 +466,8 @@ let suite =
         Alcotest.test_case "thread count validation" `Quick
           test_engine_rejects_bad_thread_counts;
         Alcotest.test_case "events counted" `Quick test_events_counted;
+        Alcotest.test_case "waiter scans counted" `Quick
+          test_waiter_scans_counted;
       ] );
     ( "coherence",
       [
