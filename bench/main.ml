@@ -12,6 +12,9 @@
      --trace FILE             lock-event trace of the sweeps; .jsonl
                               streams JSONL, anything else writes a
                               Chrome trace_event file
+     --profile                per-site coherence attribution report for
+                              the microbenchmark sweep (stdout only;
+                              never changes schedules or artifacts)
 
    Figures 2-5 derive from one LBench sweep; Figure 6 from the abortable
    sweep; Tables 1-2 from the KV-store and allocator workloads. The
@@ -114,7 +117,31 @@ let sweep_entries ~experiment (sweep : X.sweep) =
          Array.to_list col
          |> List.map (Harness.Bench_json.entry_of_result ~experiment))
 
-let run_sim ~quick ~trace ~emit =
+(* [--profile]: attribution tables for the sweep's highest thread count.
+   Purely a stdout report — the sweep results and any emitted artifact are
+   identical with and without it (profiling mutates stats only). *)
+let print_profiles (sweep : X.sweep) =
+  print_endline "=== Coherence attribution (--profile) ===";
+  List.iteri
+    (fun i name ->
+      let col = sweep.X.cells.(i) in
+      let r = col.(Array.length col - 1) in
+      match r.Harness.Lbench.profile with
+      | None -> ()
+      | Some p ->
+          let acquires = r.Harness.Lbench.iterations in
+          Printf.printf "\n-- %s @ %d threads --\n" name
+            r.Harness.Lbench.n_threads;
+          Format.printf "%a" Numa_trace.Profile.pp p;
+          Printf.printf
+            "remote transfers / acquisition = %.3f   invalidations / release \
+             = %.3f\n%!"
+            (Numa_trace.Profile.remote_transfers_per_acquire p ~acquires)
+            (Numa_trace.Profile.invalidations_per_release p ~releases:acquires))
+    sweep.X.columns;
+  print_newline ()
+
+let run_sim ~quick ~trace ~emit ~profile =
   let seed = 42 in
   let duration = if quick then 2_000_000 else 5_000_000 in
   let fig_threads =
@@ -133,13 +160,14 @@ let run_sim ~quick ~trace ~emit =
   let sweep =
     X.microbench_sweep
       ~locks:(List.map (R.with_trace sink) R.microbench_locks)
-      ~rollup ~topology ~threads:fig_threads ~duration ~seed ()
+      ~rollup ~profile ~topology ~threads:fig_threads ~duration ~seed ()
   in
   X.print_fig2 sweep;
   X.print_fig3 sweep;
   X.print_fig4 sweep;
   X.print_fig5 sweep;
   X.print_fig5_latency sweep;
+  if profile then print_profiles sweep;
   let asweep =
     X.abortable_sweep
       ~locks:(List.map (R.with_trace_abortable sink) R.abortable_locks)
@@ -180,20 +208,22 @@ let run_sim ~quick ~trace ~emit =
       Printf.printf "Wrote bench artifact to %s\n%!" path
 
 let () =
-  let rec parse (quick, trace, emit) = function
-    | [] -> (quick, trace, emit)
-    | "quick" :: rest -> parse (true, trace, emit) rest
-    | "--trace" :: f :: rest -> parse (quick, Some f, emit) rest
-    | "--emit-bench-json" :: f :: rest -> parse (quick, trace, Some f) rest
+  let rec parse (quick, trace, emit, profile) = function
+    | [] -> (quick, trace, emit, profile)
+    | "quick" :: rest -> parse (true, trace, emit, profile) rest
+    | "--trace" :: f :: rest -> parse (quick, Some f, emit, profile) rest
+    | "--emit-bench-json" :: f :: rest ->
+        parse (quick, trace, Some f, profile) rest
+    | "--profile" :: rest -> parse (quick, trace, emit, true) rest
     | a :: _ ->
         Printf.eprintf
           "unknown argument %S (expected: quick, --trace FILE, \
-           --emit-bench-json FILE)\n"
+           --emit-bench-json FILE, --profile)\n"
           a;
         exit 2
   in
-  let quick, trace, emit =
-    parse (false, None, None) (List.tl (Array.to_list Sys.argv))
+  let quick, trace, emit, profile =
+    parse (false, None, None, false) (List.tl (Array.to_list Sys.argv))
   in
   run_bechamel ();
-  run_sim ~quick ~trace ~emit
+  run_sim ~quick ~trace ~emit ~profile

@@ -20,12 +20,65 @@ let load what path =
       Printf.eprintf "bench_diff: cannot read %s artifact %s: %s\n" what path e;
       exit 2
 
+(* Informational (non-gating) coherence-rollup deltas: only when both
+   artifacts are cohort-bench/2 — version-1 baselines have no coh_*/icx_*
+   fields to compare. Coherence traffic is a model property, so shifts
+   here explain throughput moves rather than gate them. *)
+let coh_metrics =
+  [
+    "coh_remote_transfers_per_acq";
+    "coh_invalidations_per_release";
+    "icx_queue_ns";
+  ]
+
+let print_coherence_deltas (b : BJ.t) (c : BJ.t) =
+  if b.BJ.schema = BJ.schema_version && c.BJ.schema = BJ.schema_version then begin
+    let index = Hashtbl.create 64 in
+    List.iter
+      (fun (e : BJ.entry) ->
+        Hashtbl.replace index
+          (Printf.sprintf "%s/%s/t%d" e.experiment e.lock e.threads)
+          e)
+      c.BJ.entries;
+    let shown = ref 0 in
+    List.iter
+      (fun (be : BJ.entry) ->
+        let key = Printf.sprintf "%s/%s/t%d" be.experiment be.lock be.threads in
+        match Hashtbl.find_opt index key with
+        | None -> ()
+        | Some ce ->
+            List.iter
+              (fun metric ->
+                match
+                  ( List.assoc_opt metric be.BJ.metrics,
+                    List.assoc_opt metric ce.BJ.metrics )
+                with
+                | Some bv, Some cv
+                  when (not (Float.is_nan bv))
+                       && (not (Float.is_nan cv))
+                       && bv > 0.
+                       && Float.abs ((cv -. bv) /. bv) > 0.05 ->
+                    if !shown = 0 then
+                      print_endline
+                        "coherence deltas (informational, >5% shift, not \
+                         gated):";
+                    incr shown;
+                    Printf.printf "  %-40s %-30s %.4g -> %.4g (%+.1f%%)\n" key
+                      metric bv cv
+                      ((cv -. bv) /. bv *. 100.)
+                | _ -> ())
+              coh_metrics)
+      b.BJ.entries;
+    if !shown > 0 then print_newline ()
+  end
+
 let run baseline current threshold =
   let b = load "baseline" baseline in
   let c = load "current" current in
   if b.BJ.substrate <> c.BJ.substrate then
     Printf.printf "note: comparing %s baseline against %s current\n"
       b.BJ.substrate c.BJ.substrate;
+  print_coherence_deltas b c;
   let regressions, warnings =
     BJ.compare_artifacts ~baseline:b ~current:c ~threshold_pct:threshold
   in

@@ -144,14 +144,46 @@ let banner duration seed =
   Printf.printf "%s\n%!"
     (X.params_summary ~topology ~duration:(duration * 1_000_000) ~seed)
 
-let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false) threads
-    duration seed csv_dir =
+(* --- Coherence attribution (--profile / the profile subcommand) -------- *)
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Also print a per-site coherence attribution table (remote \
+           transfers, invalidations, stall-ns split) for every lock at the \
+           highest thread count of the sweep.")
+
+let print_profile ~name (r : Harness.Lbench.result) =
+  match r.Harness.Lbench.profile with
+  | None -> ()
+  | Some p ->
+      let acquires = r.Harness.Lbench.iterations in
+      Printf.printf "\n-- %s @ %d threads: coherence attribution --\n" name
+        r.Harness.Lbench.n_threads;
+      Format.printf "%a" Numa_trace.Profile.pp p;
+      Printf.printf
+        "remote transfers / acquisition = %.3f   invalidations / release = \
+         %.3f\n%!"
+        (Numa_trace.Profile.remote_transfers_per_acquire p ~acquires)
+        (Numa_trace.Profile.invalidations_per_release p ~releases:acquires)
+
+let print_sweep_profiles (s : X.sweep) =
+  List.iteri
+    (fun i name ->
+      let col = s.X.cells.(i) in
+      print_profile ~name col.(Array.length col - 1))
+    s.X.columns
+
+let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false)
+    ?(profile = false) threads duration seed csv_dir =
   banner duration seed;
   let duration = duration * 1_000_000 in
   let s =
     X.microbench_sweep
       ~locks:(List.map (LR.with_trace sink) LR.microbench_locks)
-      ~rollup ~topology ~threads ~duration ~seed ()
+      ~rollup ~profile ~topology ~threads ~duration ~seed ()
   in
   if List.mem `F2 which then begin
     X.print_fig2 s;
@@ -170,12 +202,15 @@ let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false) threads
     maybe_csv csv_dir "fig5" ~x_label:"threads" ~columns:s.X.columns
       ~rows:(X.fairness_rows s)
   end;
+  if profile then print_sweep_profiles s;
   s
 
 let fig_cmd name which doc =
-  let run threads duration seed csv_dir trace emit =
+  let run threads duration seed csv_dir trace emit profile =
     let sink, finish, rollup = observe trace emit in
-    let s = run_figs ~which ~sink ~rollup threads duration seed csv_dir in
+    let s =
+      run_figs ~which ~sink ~rollup ~profile threads duration seed csv_dir
+    in
     finish ();
     emit_artifact emit ~seed [ ("lbench", s) ]
   in
@@ -183,7 +218,8 @@ let fig_cmd name which doc =
     Term.(
       const run
       $ threads_arg ~default:default_threads
-      $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg)
+      $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg
+      $ profile_flag)
 
 let fig6_cmd =
   let run threads duration seed patience csv_dir trace emit =
@@ -385,6 +421,104 @@ let ablation_hbo_cmd =
        ~doc:"HBO backoff-parameter instability across workloads.")
     Term.(const run $ duration_arg $ seed_arg)
 
+let profile_cmd =
+  (* The paper-claim smoke (ci.sh): C-BO-MCS must move the lock data
+     across clusters less often than plain MCS — section 4's explanation
+     of the cohort advantage, here measured directly by the attribution
+     profiler instead of inferred from throughput. *)
+  let run lock_names n duration seed check =
+    banner duration seed;
+    let duration = duration * 1_000_000 in
+    let locks =
+      List.map
+        (fun name ->
+          match LR.find name with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "profile: unknown lock %S\n%!" name;
+              exit 2)
+        lock_names
+    in
+    let s =
+      X.microbench_sweep ~locks ~profile:true ~topology ~threads:[ n ]
+        ~duration ~seed ()
+    in
+    let results =
+      List.map2
+        (fun name col -> (name, col.(0)))
+        s.X.columns
+        (Array.to_list s.X.cells)
+    in
+    List.iter (fun (name, r) -> print_profile ~name r) results;
+    let per_acq (r : Harness.Lbench.result) =
+      match r.Harness.Lbench.profile with
+      | Some p ->
+          Numa_trace.Profile.remote_transfers_per_acquire p
+            ~acquires:r.Harness.Lbench.iterations
+      | None -> Float.nan
+    in
+    Printf.printf "\nremote transfers per acquisition @ %d threads:\n" n;
+    List.iter
+      (fun (name, r) -> Printf.printf "  %-12s %8.3f\n" name (per_acq r))
+      results;
+    if check then begin
+      let get name =
+        match List.assoc_opt name results with
+        | Some r -> per_acq r
+        | None ->
+            Printf.eprintf
+              "profile --check: lock %S not in the run (need MCS and \
+               C-BO-MCS)\n\
+               %!"
+              name;
+            exit 2
+      in
+      let mcs = get "MCS" and cohort = get "C-BO-MCS" in
+      if Float.is_nan mcs || Float.is_nan cohort then begin
+        Printf.eprintf "profile --check: no coherence data (native run?)\n%!";
+        exit 1
+      end;
+      if cohort < mcs then
+        Printf.printf
+          "check OK: C-BO-MCS moves fewer lock-word transfers than MCS \
+           (%.3f < %.3f per acquisition)\n\
+           %!"
+          cohort mcs
+      else begin
+        Printf.eprintf
+          "check FAILED: C-BO-MCS remote transfers per acquisition (%.3f) \
+           not below MCS (%.3f)\n\
+           %!"
+          cohort mcs;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-lock, per-site coherence attribution profile (remote \
+          cache-to-cache transfers, invalidations, stall-ns split by cause, \
+          interconnect queueing) on the LBench workload.")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & pos_all string [ "MCS"; "C-BO-MCS" ]
+          & info [] ~docv:"LOCK"
+              ~doc:"Registry locks to profile (default: MCS C-BO-MCS).")
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Exit non-zero unless C-BO-MCS shows strictly fewer remote \
+                 transfers per acquisition than MCS (the paper-claim gate \
+                 used by scripts/ci.sh)."))
+
 let all_cmd =
   let run duration seed csv_dir trace emit =
     banner duration seed;
@@ -446,6 +580,7 @@ let () =
       ext_rw_cmd;
       ext_bimodal_cmd;
       matrix_cmd;
+      profile_cmd;
       all_cmd;
     ]
   in

@@ -20,7 +20,13 @@ module type MEMORY = sig
   (** A shared memory word holding a value of type ['a]. *)
 
   val line : ?name:string -> unit -> line
-  (** Allocate a fresh cache line. [name] is used in traces. *)
+  (** Allocate a fresh cache line. [name] labels the allocation site: it
+      is used in traces and keys the coherence profiler's per-site
+      attribution, so lock functors should label every line they allocate
+      (e.g. ["mcs.tail"]). *)
+
+  val line_site : line -> string
+  (** The line's allocation-site label; [""] if it was not labelled. *)
 
   val cell : line -> 'a -> 'a cell
   (** [cell l v] allocates a cell on line [l] with initial value [v]. *)

@@ -21,9 +21,16 @@ type run_stats = {
       (** simulated end time, or wall-clock ns from first spawn to last
           join. *)
   threads_finished : int;
-  coherence_misses : int option;  (** simulation substrate only. *)
-  remote_txns : int option;  (** simulation substrate only. *)
+  coherence : Numa_trace.Profile.coherence option;
+      (** the run's full engine-global coherence counters; simulation
+          substrate only. *)
+  interconnect : Numa_trace.Profile.interconnect option;
+      (** interconnect occupancy/queueing stats; simulation substrate
+          only. *)
   sim_events : int option;  (** simulation substrate only. *)
+  sites : Numa_trace.Profile.site list option;
+      (** per-site coherence attribution; [Some] iff the run was both on
+          the simulation substrate and started with [~profile:true]. *)
 }
 
 exception Thread_failure of { tid : int; exn : exn; backtrace : string }
@@ -64,13 +71,16 @@ module type RUNTIME = sig
     topology:Topology.t ->
     n_threads:int ->
     ?stop_after:int ->
+    ?profile:bool ->
     (stop:stop_flag -> tid:int -> cluster:int -> unit) ->
     run_stats
   (** [run ~topology ~n_threads body] starts [n_threads] threads; thread
       [tid] runs [body ~stop ~tid ~cluster] on the cluster given by the
       topology's placement, and the call returns when every thread has.
       [stop_after] arms the stop flag [stop_after] ns into the run;
-      bodies poll [stopped] and wind down cooperatively.
+      bodies poll [stopped] and wind down cooperatively. [profile] asks
+      for per-site coherence attribution ([run_stats.sites]); runtimes
+      that cannot attribute (the native one) accept and ignore it.
 
       @raise Invalid_argument if [n_threads] < 1 or exceeds the topology
         capacity.

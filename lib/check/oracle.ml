@@ -81,7 +81,9 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           | _ -> ()
         end
     | Event.Handoff_global -> if st.checks.handoff then st.run <- 0
-    | Event.Abort | Event.Starvation_limit_hit -> ()
+    | Event.Abort | Event.Starvation_limit_hit | Event.Coh_transfer _
+    | Event.Coh_invalidate _ ->
+        ()
 
   let wrap ?(checks = me_only) (module L : LI.LOCK) : (module LI.LOCK) =
     let module C = struct

@@ -17,6 +17,7 @@ type result = {
   acquire_p99 : float;
   acquire_max : float;
   rollup : Numa_trace.Metrics.t option;
+  profile : Numa_trace.Profile.t option;
 }
 
 module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
@@ -52,11 +53,13 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
       fairness_stddev_pct = Stats.stddev_pct spread;
       migrations;
       misses_per_cs =
-        (match stats.Runtime_intf.coherence_misses with
+        (match stats.Runtime_intf.coherence with
         | None -> Float.nan
-        | Some misses ->
+        | Some c ->
             if iterations = 0 then 0.
-            else float_of_int misses /. float_of_int iterations);
+            else
+              float_of_int c.Numa_trace.Profile.coherence_misses
+              /. float_of_int iterations);
       aborts;
       abort_rate =
         (if attempts = 0 then 0.
@@ -65,6 +68,21 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
       acquire_p99 = pct 0.99;
       acquire_max = float_of_int (Stats.Histogram.max_seen latencies);
       rollup = None;
+      profile =
+        (* Coherence totals and interconnect stats come with every
+           simulated run; the per-site table is filled only when the run
+           was profiled. The native runtime reports neither. *)
+        (match (stats.Runtime_intf.coherence, stats.Runtime_intf.interconnect)
+         with
+        | Some totals, Some icx ->
+            Some
+              {
+                Numa_trace.Profile.sites =
+                  Option.value stats.Runtime_intf.sites ~default:[];
+                totals;
+                icx;
+              }
+        | _ -> None);
     }
 
   (* Body shared by the two entry points; instrumentation state is either
@@ -72,8 +90,8 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
      join) or mutated only inside the critical section (migrations), so
      it is race-free under native domains and does not perturb the
      simulation. *)
-  let run_generic ~lock_name ~register_and_loop ~topology ~n_threads ~duration
-      ~seed =
+  let run_generic ~lock_name ~profile ~register_and_loop ~topology ~n_threads
+      ~duration ~seed =
     let counts = Array.make n_threads 0 in
     let aborts = Array.make n_threads 0 in
     let migrations = ref 0 in
@@ -81,7 +99,7 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
     let latencies = Array.init n_threads (fun _ -> Stats.Histogram.create ()) in
     let data = make_cs_data () in
     let stats =
-      RT.run ~topology ~n_threads ~stop_after:duration
+      RT.run ~topology ~n_threads ~stop_after:duration ~profile
         (fun ~stop ~tid ~cluster ->
           let rng = Prng.create (seed + (tid * 7919) + 13) in
           register_and_loop ~stop ~tid ~cluster ~rng ~data ~counts ~aborts
@@ -123,11 +141,11 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
       { res with rollup = Some m }
     end
 
-  let run ?name ?(rollup = false) (module L : LI.LOCK) ~topology ~cfg
-      ~n_threads ~duration ~seed =
+  let run ?name ?(rollup = false) ?(profile = false) (module L : LI.LOCK)
+      ~topology ~cfg ~n_threads ~duration ~seed =
     with_rollup ~rollup cfg @@ fun cfg ->
     let l = L.create cfg in
-    run_generic ~lock_name:(Option.value name ~default:L.name)
+    run_generic ~lock_name:(Option.value name ~default:L.name) ~profile
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts:_
                               ~migrations ~last_cluster ~latencies ->
         let th = L.register l ~tid ~cluster in
@@ -150,11 +168,12 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
         loop ())
       ~topology ~n_threads ~duration ~seed
 
-  let run_abortable ?name ?(rollup = false) (module L : LI.ABORTABLE_LOCK)
-      ~topology ~cfg ~n_threads ~duration ~seed ~patience =
+  let run_abortable ?name ?(rollup = false) ?(profile = false)
+      (module L : LI.ABORTABLE_LOCK) ~topology ~cfg ~n_threads ~duration ~seed
+      ~patience =
     with_rollup ~rollup cfg @@ fun cfg ->
     let l = L.create cfg in
-    run_generic ~lock_name:(Option.value name ~default:L.name)
+    run_generic ~lock_name:(Option.value name ~default:L.name) ~profile
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts
                               ~migrations ~last_cluster ~latencies ->
         let th = L.register l ~tid ~cluster in

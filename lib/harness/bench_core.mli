@@ -37,12 +37,18 @@ type result = {
       (** trace-derived per-lock metrics (migration rate, cohort batch
           run lengths, hold-time quantiles); [Some] only when the run was
           started with [~rollup:true]. *)
+  profile : Numa_trace.Profile.t option;
+      (** coherence attribution rollup: [Some] on the simulated substrate
+          (engine-global totals and interconnect stats always; the
+          per-site table only when run with [~profile:true]), [None] on
+          the native one. *)
 }
 
 module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNTIME) : sig
   val run :
     ?name:string ->
     ?rollup:bool ->
+    ?profile:bool ->
     (module Cohort.Lock_intf.LOCK) ->
     topology:Numa_base.Topology.t ->
     cfg:Cohort.Lock_intf.config ->
@@ -53,11 +59,14 @@ module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNT
   (** [~rollup:true] tees a bounded in-memory ring into [cfg.trace] for
       the run and summarises the captured window into [result.rollup].
       On the simulator this does not change lock behaviour (tracing is
-      free in simulated time). *)
+      free in simulated time). [~profile:true] asks the runtime for
+      per-site coherence attribution ([result.profile] then carries the
+      site table); scheduling is unaffected either way. *)
 
   val run_abortable :
     ?name:string ->
     ?rollup:bool ->
+    ?profile:bool ->
     (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
     topology:Numa_base.Topology.t ->
     cfg:Cohort.Lock_intf.config ->

@@ -1,6 +1,7 @@
 module J = Numa_trace.Json
 
-let schema_version = "cohort-bench/1"
+let schema_version = "cohort-bench/2"
+let accepted_schemas = [ "cohort-bench/1"; schema_version ]
 
 type entry = {
   experiment : string;
@@ -39,7 +40,12 @@ let entry_of_result ~experiment (r : Bench_core.result) =
       ]
       @ (match r.Bench_core.rollup with
         | None -> []
-        | Some m -> Numa_trace.Metrics.to_fields m);
+        | Some m -> Numa_trace.Metrics.to_fields m)
+      @ (match r.Bench_core.profile with
+        | None -> []
+        | Some p ->
+            Numa_trace.Profile.to_fields ~acquires:r.Bench_core.iterations
+              ~releases:r.Bench_core.iterations p);
   }
 
 let num v =
@@ -95,8 +101,11 @@ let entry_of_json j =
 let of_json j =
   let* schema = str_field "schema" j in
   let* () =
-    if schema = schema_version then Ok ()
-    else Error (Printf.sprintf "unsupported schema %S (want %S)" schema schema_version)
+    if List.mem schema accepted_schemas then Ok ()
+    else
+      Error
+        (Printf.sprintf "unsupported schema %S (want one of %s)" schema
+           (String.concat ", " (List.map (Printf.sprintf "%S") accepted_schemas)))
   in
   let substrate =
     Option.value

@@ -10,7 +10,11 @@
     byte-identical files — the property [scripts/ci.sh] checks. *)
 
 val schema_version : string
-(** ["cohort-bench/1"]; bumped on any entry/metric shape change. *)
+(** ["cohort-bench/2"]; bumped on any entry/metric shape change. Version
+    2 adds the coherence/interconnect rollup metrics ([coh_*], [icx_*])
+    to every simulated entry. {!read}/{!of_json} still accept version-1
+    artifacts (the [t.schema] field keeps whatever was read), so older
+    committed baselines keep gating. *)
 
 type entry = {
   experiment : string;  (** e.g. ["lbench"], ["lbench-abortable"]. *)

@@ -19,6 +19,7 @@ val params_summary : topology:Numa_base.Topology.t -> duration:int -> seed:int -
 val microbench_sweep :
   ?locks:Lock_registry.entry list ->
   ?rollup:bool ->
+  ?profile:bool ->
   topology:Numa_base.Topology.t ->
   threads:int list ->
   duration:int ->
@@ -27,11 +28,14 @@ val microbench_sweep :
   sweep
 (** The Figure 2/3/4/5 data: LBench for every (lock, thread-count).
     [~rollup:true] fills each cell's [result.rollup] with trace-derived
-    metrics (see {!Bench_core.Make.run}). *)
+    metrics; [~profile:true] fills each cell's [result.profile] site
+    table with per-site coherence attribution (see
+    {!Bench_core.Make.run}). *)
 
 val abortable_sweep :
   ?locks:Lock_registry.abortable_entry list ->
   ?rollup:bool ->
+  ?profile:bool ->
   topology:Numa_base.Topology.t ->
   threads:int list ->
   duration:int ->

@@ -21,6 +21,7 @@ type result = Bench_core.result = {
   acquire_p99 : float;
   acquire_max : float;
   rollup : Numa_trace.Metrics.t option;
+  profile : Numa_trace.Profile.t option;
 }
 
 let run = Core.run

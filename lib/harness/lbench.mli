@@ -32,11 +32,16 @@ type result = Bench_core.result = {
   rollup : Numa_trace.Metrics.t option;
       (** trace-derived per-lock metrics; [Some] only with
           [~rollup:true]. *)
+  profile : Numa_trace.Profile.t option;
+      (** coherence attribution rollup — always [Some] here (the
+          simulator measures coherence); the per-site table inside it is
+          non-empty only with [~profile:true]. *)
 }
 
 val run :
   ?name:string ->
   ?rollup:bool ->
+  ?profile:bool ->
   (module Cohort.Lock_intf.LOCK) ->
   topology:Numa_base.Topology.t ->
   cfg:Cohort.Lock_intf.config ->
@@ -48,6 +53,7 @@ val run :
 val run_abortable :
   ?name:string ->
   ?rollup:bool ->
+  ?profile:bool ->
   (module Cohort.Lock_intf.ABORTABLE_LOCK) ->
   topology:Numa_base.Topology.t ->
   cfg:Cohort.Lock_intf.config ->

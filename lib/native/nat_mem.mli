@@ -15,3 +15,11 @@ include Numa_base.Memory_intf.MEMORY
 val set_identity : tid:int -> cluster:int -> unit
 (** Declare the calling domain's thread id and NUMA cluster (as used by
     {!self_id} / {!self_cluster}). *)
+
+val site_creations : unit -> (string * int) list
+(** How many lines each allocation site has created since process start
+    (both [line ?name] and [cell' ?name]; unlabelled sites count under
+    [""]). Sorted by site label. The native stand-in for the simulator's
+    per-site coherence profiler: real per-access attribution would need
+    hardware counters, but creation counts are enough to audit that a
+    lock labels everything it allocates. *)

@@ -21,7 +21,7 @@ let await b =
 
 let now = Nat_mem.now
 
-let run ~topology ~n_threads ?stop_after body =
+let run ~topology ~n_threads ?stop_after ?profile:_ body =
   if n_threads < 1 then invalid_arg "Nat_runtime.run: n_threads < 1";
   if n_threads > Topology.total_threads topology then
     invalid_arg
@@ -59,7 +59,8 @@ let run ~topology ~n_threads ?stop_after body =
       {
         Runtime_intf.elapsed_ns = now () - t0;
         threads_finished = n_threads;
-        coherence_misses = None;
-        remote_txns = None;
+        coherence = None;
+        interconnect = None;
         sim_events = None;
+        sites = None;
       }

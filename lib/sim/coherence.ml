@@ -1,5 +1,23 @@
 type kind = Read | Write | Rmw
 
+(* Per-site attribution row (see profiler below). Mutable so the hot
+   path bumps fields in place; exported immutably via [sites]. *)
+type site_stats = {
+  sp_site : string;
+  mutable sp_accesses : int;
+  mutable sp_l1_hits : int;
+  mutable sp_local_hits : int;
+  mutable sp_remote_transfers : int;
+  mutable sp_memory_misses : int;
+  mutable sp_inval_sent : int;
+  mutable sp_inval_received : int;
+  mutable sp_remote_txns : int;
+  mutable sp_stall_local_ns : int;
+  mutable sp_stall_remote_ns : int;
+  mutable sp_stall_memory_ns : int;
+  mutable sp_stall_interconnect_ns : int;
+}
+
 type line = {
   id : int;
   name : string;
@@ -8,6 +26,7 @@ type line = {
   mutable last_thread : int;
   mutable busy_until : int;
   mutable epoch : int;
+  mutable prow : site_stats option;
   wq : Waitq.t;
 }
 
@@ -22,6 +41,8 @@ type stats = {
   mutable waiter_scans : int;
 }
 
+type profiler = (string, site_stats) Hashtbl.t
+
 let next_id = Atomic.make 0
 
 let make_line ?(name = "") () =
@@ -33,6 +54,7 @@ let make_line ?(name = "") () =
     last_thread = -1;
     busy_until = 0;
     epoch = -1;
+    prow = None;
     wq = Waitq.create ();
   }
 
@@ -48,7 +70,71 @@ let fresh_stats () =
     waiter_scans = 0;
   }
 
+let make_profiler () : profiler = Hashtbl.create 64
+
+let site_row (p : profiler) name =
+  match Hashtbl.find_opt p name with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          sp_site = name;
+          sp_accesses = 0;
+          sp_l1_hits = 0;
+          sp_local_hits = 0;
+          sp_remote_transfers = 0;
+          sp_memory_misses = 0;
+          sp_inval_sent = 0;
+          sp_inval_received = 0;
+          sp_remote_txns = 0;
+          sp_stall_local_ns = 0;
+          sp_stall_remote_ns = 0;
+          sp_stall_memory_ns = 0;
+          sp_stall_interconnect_ns = 0;
+        }
+      in
+      Hashtbl.add p name r;
+      r
+
+let sites (p : profiler) =
+  Hashtbl.fold
+    (fun _ (r : site_stats) acc ->
+      {
+        Numa_trace.Profile.site = r.sp_site;
+        s_accesses = r.sp_accesses;
+        s_l1_hits = r.sp_l1_hits;
+        s_local_hits = r.sp_local_hits;
+        s_remote_transfers = r.sp_remote_transfers;
+        s_memory_misses = r.sp_memory_misses;
+        s_inval_sent = r.sp_inval_sent;
+        s_inval_received = r.sp_inval_received;
+        s_remote_txns = r.sp_remote_txns;
+        s_stall_local_ns = r.sp_stall_local_ns;
+        s_stall_remote_ns = r.sp_stall_remote_ns;
+        s_stall_memory_ns = r.sp_stall_memory_ns;
+        s_stall_interconnect_ns = r.sp_stall_interconnect_ns;
+      }
+      :: acc)
+    p []
+  |> List.sort (fun a b ->
+         compare a.Numa_trace.Profile.site b.Numa_trace.Profile.site)
+
+let export st =
+  {
+    Numa_trace.Profile.accesses = st.accesses;
+    l1_hits = st.l1_hits;
+    local_hits = st.local_hits;
+    coherence_misses = st.coherence_misses;
+    memory_misses = st.memory_misses;
+    invalidations = st.invalidations;
+    remote_txns = st.remote_txns;
+    waiter_scans = st.waiter_scans;
+  }
+
 let bit c = 1 lsl c
+let popcount n = (* sharer masks are tiny; a loop is fine off the default path *)
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
 
 (* A cross-cluster transfer occupies the line: later transfers queue
    behind it. Returns the total latency including queueing. *)
@@ -57,16 +143,61 @@ let transfer line ~now ~cost =
   line.busy_until <- start + cost;
   start - now + cost
 
-let access st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster ~thread
-    kind =
+(* Attribution helpers: every [p_*] call mutates the site row only —
+   never the line state, the latency, or the engine-global counters — so
+   a profiled run takes exactly the schedule of an unprofiled one. *)
+let p_local row l =
+  match row with
+  | None -> ()
+  | Some r ->
+      r.sp_local_hits <- r.sp_local_hits + 1;
+      r.sp_stall_local_ns <- r.sp_stall_local_ns + l
+
+let p_remote ?(transfer = true) ?(inval_sent = 0) ?(inval_received = 0) row l =
+  match row with
+  | None -> ()
+  | Some r ->
+      if transfer then r.sp_remote_transfers <- r.sp_remote_transfers + 1;
+      r.sp_inval_sent <- r.sp_inval_sent + inval_sent;
+      r.sp_inval_received <- r.sp_inval_received + inval_received;
+      r.sp_remote_txns <- r.sp_remote_txns + 1;
+      r.sp_stall_remote_ns <- r.sp_stall_remote_ns + l
+
+let p_memory row l =
+  match row with
+  | None -> ()
+  | Some r ->
+      r.sp_memory_misses <- r.sp_memory_misses + 1;
+      r.sp_stall_memory_ns <- r.sp_stall_memory_ns + l
+
+let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
+    ~thread kind =
   if line.epoch <> epoch then begin
     line.epoch <- epoch;
     line.owner <- -1;
     line.sharers <- 0;
     line.last_thread <- -1;
-    line.busy_until <- 0
+    line.busy_until <- 0;
+    line.prow <- None
   end;
   st.accesses <- st.accesses + 1;
+  (* The row is cached on the line for the rest of the epoch, so the
+     profiled fast path costs one option branch plus field bumps; the
+     unprofiled path costs one [None] branch. *)
+  let row =
+    match prof with
+    | None -> None
+    | Some p -> (
+        match line.prow with
+        | Some _ as r -> r
+        | None ->
+            let r = site_row p line.name in
+            line.prow <- Some r;
+            Some r)
+  in
+  (match row with
+  | None -> ()
+  | Some r -> r.sp_accesses <- r.sp_accesses + 1);
   let extra = match kind with Rmw -> lat.atomic_extra | Read | Write -> 0 in
   let latency =
     match kind with
@@ -74,10 +205,16 @@ let access st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster ~thread
         if line.owner = cluster || line.sharers land bit cluster <> 0 then
           if line.last_thread = thread then begin
             st.l1_hits <- st.l1_hits + 1;
+            (match row with
+            | None -> ()
+            | Some r ->
+                r.sp_l1_hits <- r.sp_l1_hits + 1;
+                r.sp_stall_local_ns <- r.sp_stall_local_ns + lat.l1_hit);
             lat.l1_hit
           end
           else begin
             st.local_hits <- st.local_hits + 1;
+            p_local row lat.local_hit;
             lat.local_hit
           end
         else if line.owner >= 0 then begin
@@ -87,18 +224,23 @@ let access st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster ~thread
           st.remote_txns <- st.remote_txns + 1;
           line.sharers <- bit line.owner lor bit cluster;
           line.owner <- -1;
-          transfer line ~now ~cost:lat.remote_transfer
+          let l = transfer line ~now ~cost:lat.remote_transfer in
+          p_remote row l;
+          l
         end
         else if line.sharers <> 0 then begin
           (* Shared remotely only: fetch from a sharer. *)
           st.coherence_misses <- st.coherence_misses + 1;
           st.remote_txns <- st.remote_txns + 1;
           line.sharers <- line.sharers lor bit cluster;
-          transfer line ~now ~cost:lat.remote_transfer
+          let l = transfer line ~now ~cost:lat.remote_transfer in
+          p_remote row l;
+          l
         end
         else begin
           st.memory_misses <- st.memory_misses + 1;
           line.sharers <- bit cluster;
+          p_memory row lat.mem_access;
           lat.mem_access
         end
     | Write | Rmw ->
@@ -106,36 +248,55 @@ let access st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster ~thread
           if line.owner = cluster then
             if line.last_thread = thread then begin
               st.l1_hits <- st.l1_hits + 1;
+              (match row with
+              | None -> ()
+              | Some r ->
+                  r.sp_l1_hits <- r.sp_l1_hits + 1;
+                  r.sp_stall_local_ns <- r.sp_stall_local_ns + lat.l1_hit);
               lat.l1_hit
             end
             else begin
               st.local_hits <- st.local_hits + 1;
+              p_local row lat.local_hit;
               lat.local_hit
             end
           else if line.sharers = bit cluster then begin
             (* Only we share it: silent-ish upgrade. *)
             st.local_hits <- st.local_hits + 1;
+            p_local row lat.upgrade_local;
             lat.upgrade_local
           end
           else if line.sharers land bit cluster <> 0 then begin
             (* We share it but so do remote clusters: invalidate them. *)
             st.invalidations <- st.invalidations + 1;
             st.remote_txns <- st.remote_txns + 1;
-            transfer line ~now ~cost:lat.remote_transfer
+            let victims = popcount (line.sharers land lnot (bit cluster)) in
+            let l = transfer line ~now ~cost:lat.remote_transfer in
+            p_remote ~transfer:false ~inval_sent:1 ~inval_received:victims row
+              l;
+            l
           end
           else if line.owner >= 0 then begin
+            (* Steal a remotely modified line: the owner's copy is
+               invalidated by the ownership transfer. *)
             st.coherence_misses <- st.coherence_misses + 1;
             st.remote_txns <- st.remote_txns + 1;
-            transfer line ~now ~cost:lat.remote_transfer
+            let l = transfer line ~now ~cost:lat.remote_transfer in
+            p_remote ~inval_received:1 row l;
+            l
           end
           else if line.sharers <> 0 then begin
             st.coherence_misses <- st.coherence_misses + 1;
             st.invalidations <- st.invalidations + 1;
             st.remote_txns <- st.remote_txns + 1;
-            transfer line ~now ~cost:lat.remote_transfer
+            let victims = popcount line.sharers in
+            let l = transfer line ~now ~cost:lat.remote_transfer in
+            p_remote ~inval_sent:1 ~inval_received:victims row l;
+            l
           end
           else begin
             st.memory_misses <- st.memory_misses + 1;
+            p_memory row lat.mem_access;
             lat.mem_access
           end
         in

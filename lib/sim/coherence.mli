@@ -11,18 +11,48 @@
     The model also tracks the last accessing thread per line so that
     repeated accesses by the same thread cost an L1 hit, making a
     critical section that increments a counter several times cost one
-    transfer plus cheap L1 traffic (as on real hardware). *)
+    transfer plus cheap L1 traffic (as on real hardware).
+
+    Optionally, a {!profiler} attributes every access to the line's
+    allocation-site label ([?name] of {!make_line}): per-site hit/miss
+    counts, invalidations sent and received, and stall nanoseconds by
+    cause. Attribution mutates statistics only — never line state or
+    latencies — so a profiled run is schedule-identical to an unprofiled
+    one (pinned by test_profile). *)
 
 type kind = Read | Write | Rmw
 
+type site_stats = {
+  sp_site : string;  (** the site label this row attributes to. *)
+  mutable sp_accesses : int;
+  mutable sp_l1_hits : int;
+  mutable sp_local_hits : int;
+  mutable sp_remote_transfers : int;
+  mutable sp_memory_misses : int;
+  mutable sp_inval_sent : int;
+  mutable sp_inval_received : int;
+  mutable sp_remote_txns : int;
+  mutable sp_stall_local_ns : int;
+  mutable sp_stall_remote_ns : int;
+  mutable sp_stall_memory_ns : int;
+  mutable sp_stall_interconnect_ns : int;
+}
+(** One profiler row. Fields are mutable (and the record public) so the
+    engine can charge interconnect queueing to [sp_stall_interconnect_ns]
+    at its own call site; export via {!sites} for immutable data. *)
+
 type line = private {
   id : int;
-  name : string;
+  name : string;  (** allocation-site label; [""] if unlabelled. *)
   mutable owner : int;  (** cluster holding the line Modified; -1 if none *)
   mutable sharers : int;  (** bitmask of clusters holding it Shared *)
   mutable last_thread : int;  (** last accessing thread, for L1 modelling *)
   mutable busy_until : int;  (** line occupied by a transfer until then *)
   mutable epoch : int;  (** run id; state auto-resets across runs *)
+  mutable prow : site_stats option;
+      (** cached profiler row for [name]; reset with the epoch so stale
+          rows never leak across runs. Filled by [access] when a
+          profiler is passed. *)
   wq : Waitq.t;
       (** threads parked on this line ([Engine]'s wait queue; stored
           here so a write reaches its waiters with one field load and a
@@ -46,10 +76,21 @@ type stats = {
           no lookup and no allocation at all (pinned by test_sim). *)
 }
 
+type profiler
+(** Per-site attribution table, keyed by line label. One per run. *)
+
 val make_line : ?name:string -> unit -> line
 val fresh_stats : unit -> stats
+val make_profiler : unit -> profiler
+
+val sites : profiler -> Numa_trace.Profile.site list
+(** Immutable snapshot of the attribution table, sorted by site label. *)
+
+val export : stats -> Numa_trace.Profile.coherence
+(** Immutable snapshot of the engine-global counters. *)
 
 val access :
+  ?prof:profiler ->
   stats ->
   Numa_base.Latency.t ->
   line ->
@@ -63,4 +104,7 @@ val access :
     state transition for [kind] by [thread] on [cluster] at time [now] and
     returns the total latency (including any queueing on a busy line).
     [epoch] identifies the simulation run; a line first touched in a new
-    epoch starts Invalid. *)
+    epoch starts Invalid. With [?prof] the access is additionally
+    attributed to the line's site row (found once per line per epoch,
+    then cached on [line.prow]); latencies and state transitions are
+    byte-identical with and without it. *)

@@ -25,6 +25,8 @@ type result = {
   coherence : Coherence.stats;
   events : int;
   threads_finished : int;
+  icx : Numa_trace.Profile.interconnect;
+  sites : Numa_trace.Profile.site list option;
 }
 
 exception Deadlock of { live : int; blocked : int; at : int }
@@ -108,6 +110,11 @@ type t = {
   mutable blocked : int;
   mutable events : int;
   epoch : int;
+  prof : Coherence.profiler option;
+  trace : Numa_trace.Sink.t;
+      (* coherence-class events only (Coh_transfer / Coh_invalidate); lock
+         events go through each lock's own sink. Kept separate so the
+         per-remote-txn firehose cannot flood a lock-event rollup ring. *)
 }
 
 let epoch_counter = Atomic.make 0
@@ -175,16 +182,41 @@ let schedule eng ~tid ~cls ~line time thunk =
       ex.ex_seq <- ex.ex_seq + 1
 
 (* Charge a memory access: coherence latency plus interconnect queueing
-   when the transaction crossed clusters. *)
+   when the transaction crossed clusters. Attribution (profiler rows,
+   coherence trace events) reads counters and mutates stats only, so the
+   charged latency — and hence the schedule — is independent of both. *)
 let access eng ~cluster ~thread line kind =
-  let before = eng.cstats.Coherence.remote_txns in
+  let st = eng.cstats in
+  let misses0 = st.Coherence.coherence_misses in
+  let inval0 = st.Coherence.invalidations in
+  let remote0 = st.Coherence.remote_txns in
   let lat =
-    Coherence.access eng.cstats eng.topo.latency line ~now:eng.now
+    Coherence.access ?prof:eng.prof st eng.topo.latency line ~now:eng.now
       ~epoch:eng.epoch ~cluster ~thread kind
   in
-  if eng.cstats.Coherence.remote_txns > before then
-    lat + Interconnect.acquire eng.icx ~now:eng.now
-  else lat
+  let total =
+    if st.Coherence.remote_txns > remote0 then begin
+      let q = Interconnect.acquire eng.icx ~now:eng.now in
+      (if q > 0 then
+         match line.Coherence.prow with
+         | Some r ->
+             r.Coherence.sp_stall_interconnect_ns <-
+               r.Coherence.sp_stall_interconnect_ns + q
+         | None -> ());
+      lat + q
+    end
+    else lat
+  in
+  if Numa_trace.Sink.enabled eng.trace then begin
+    let site = line.Coherence.name in
+    if st.Coherence.invalidations > inval0 then
+      Numa_trace.Sink.record eng.trace ~at:eng.now ~tid:thread ~cluster
+        (Numa_trace.Event.Coh_invalidate { site; ns = total })
+    else if st.Coherence.coherence_misses > misses0 then
+      Numa_trace.Sink.record eng.trace ~at:eng.now ~tid:thread ~cluster
+        (Numa_trace.Event.Coh_transfer { site; ns = total })
+  end;
+  total
 
 (* A write to [line] completed: wake every parked waiter whose predicate
    now holds. Waiters wake in registration order; each wake performs a
@@ -347,6 +379,16 @@ let ex_candidates ex n =
   done;
   cands
 
+let mk_result eng ~n_threads =
+  {
+    end_time = eng.now;
+    coherence = eng.cstats;
+    events = eng.events;
+    threads_finished = n_threads - eng.live;
+    icx = Interconnect.export eng.icx;
+    sites = Option.map Coherence.sites eng.prof;
+  }
+
 let run_explore eng ex ~n_threads ~max_events =
   let hit_cap = ref false in
   let stop = ref false in
@@ -371,12 +413,7 @@ let run_explore eng ex ~n_threads ~max_events =
   done;
   if (not !hit_cap) && eng.live > 0 then
     raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
-  {
-    end_time = eng.now;
-    coherence = eng.cstats;
-    events = eng.events;
-    threads_finished = n_threads - eng.live;
-  }
+  mk_result eng ~n_threads
 
 let run_heap eng heap ~n_threads ~horizon =
   let hit_horizon = ref false in
@@ -397,14 +434,10 @@ let run_heap eng heap ~n_threads ~horizon =
   done;
   if (not !hit_horizon) && eng.live > 0 then
     raise (Deadlock { live = eng.live; blocked = eng.blocked; at = eng.now });
-  {
-    end_time = eng.now;
-    coherence = eng.cstats;
-    events = eng.events;
-    threads_finished = n_threads - eng.live;
-  }
+  mk_result eng ~n_threads
 
-let run ~topology ~n_threads ?horizon ?policy ?max_events body =
+let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
+    ?(trace = Numa_trace.Sink.noop) body =
   if n_threads < 1 then invalid_arg "Engine.run: n_threads < 1";
   if n_threads > Topology.total_threads topology then
     invalid_arg
@@ -437,6 +470,8 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events body =
       blocked = 0;
       events = 0;
       epoch = Atomic.fetch_and_add epoch_counter 1;
+      prof = (if profile then Some (Coherence.make_profiler ()) else None);
+      trace;
     }
   in
   for tid = 0 to n_threads - 1 do

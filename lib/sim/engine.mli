@@ -18,6 +18,10 @@ type result = {
   coherence : Coherence.stats;
   events : int;  (** total events processed. *)
   threads_finished : int;
+  icx : Numa_trace.Profile.interconnect;
+      (** interconnect occupancy/queueing statistics for the run. *)
+  sites : Numa_trace.Profile.site list option;
+      (** per-site attribution table; [Some] iff run with [~profile:true]. *)
 }
 
 exception Deadlock of { live : int; blocked : int; at : int }
@@ -74,6 +78,8 @@ val run :
   ?horizon:int ->
   ?policy:policy ->
   ?max_events:int ->
+  ?profile:bool ->
+  ?trace:Numa_trace.Sink.t ->
   (tid:int -> cluster:int -> unit) ->
   result
 (** [run ~topology ~n_threads body] starts [n_threads] fibers; thread
@@ -90,6 +96,15 @@ val run :
     [max_events] bounds the number of events processed in explore mode;
     reaching the bound returns with [threads_finished < n_threads]
     instead of raising [Deadlock] — a livelock backstop.
+
+    [profile] turns on per-site coherence attribution (the run's
+    [result.sites]); [trace] receives one {!Numa_trace.Event.Coh_transfer}
+    or [Coh_invalidate] event per cross-cluster transaction. Both are
+    stats-/event-side only — a profiled or coherence-traced run is
+    schedule-identical to a plain one (pinned by test_profile). The
+    coherence trace is deliberately a separate sink from lock-event
+    tracing: it fires per remote transaction and would flood a lock-event
+    rollup ring.
 
     @raise Invalid_argument if [n_threads] exceeds the topology capacity. *)
 

@@ -1,22 +1,53 @@
-type t = { chans : int array; occupancy : int }
+type t = {
+  chans : int array;
+  occupancy : int;
+  (* Occupancy/queueing statistics. Always on: bumping them never feeds
+     back into the returned delay, so they are schedule-neutral. *)
+  mutable txns : int;
+  mutable queue_ns : int;
+  mutable busy_ns : int;
+  mutable peak_queue : int;
+}
 
 let create (lat : Numa_base.Latency.t) =
   {
     chans = Array.make (max 1 lat.interconnect_channels) 0;
     occupancy = lat.interconnect_occupancy;
+    txns = 0;
+    queue_ns = 0;
+    busy_ns = 0;
+    peak_queue = 0;
   }
 
 let acquire t ~now =
+  t.txns <- t.txns + 1;
   if t.occupancy = 0 then 0
   else begin
-    (* Earliest-free channel. *)
-    let best = ref 0 in
-    for i = 1 to Array.length t.chans - 1 do
-      if t.chans.(i) < t.chans.(!best) then best := i
+    (* Earliest-free channel; count the busy ones for the depth stat. *)
+    let best = ref 0 and busy = ref 0 in
+    for i = 0 to Array.length t.chans - 1 do
+      if t.chans.(i) < t.chans.(!best) then best := i;
+      if t.chans.(i) > now then incr busy
     done;
     let start = if t.chans.(!best) > now then t.chans.(!best) else now in
     t.chans.(!best) <- start + t.occupancy;
+    if !busy > t.peak_queue then t.peak_queue <- !busy;
+    t.queue_ns <- t.queue_ns + (start - now);
+    t.busy_ns <- t.busy_ns + t.occupancy;
     start - now
   end
 
-let reset t = Array.fill t.chans 0 (Array.length t.chans) 0
+let reset t =
+  Array.fill t.chans 0 (Array.length t.chans) 0;
+  t.txns <- 0;
+  t.queue_ns <- 0;
+  t.busy_ns <- 0;
+  t.peak_queue <- 0
+
+let export t =
+  {
+    Numa_trace.Profile.txns = t.txns;
+    queue_ns = t.queue_ns;
+    busy_ns = t.busy_ns;
+    peak_queue = t.peak_queue;
+  }

@@ -7,7 +7,12 @@
     the machine loads up (paper, section 4.1.2: "remote L2 accesses always
     incur latency costs even if the interconnect is otherwise idle, but
     they can also induce interconnect channel contention under heavy
-    load"). *)
+    load").
+
+    The model keeps always-on occupancy statistics (transaction count,
+    total queueing, total channel busy time, peak busy-channel depth);
+    they never feed back into the returned delays, so collecting them is
+    schedule-neutral. *)
 
 type t
 
@@ -18,3 +23,7 @@ val acquire : t -> now:int -> int
     [now] and returns the queueing delay (0 if a channel is free). *)
 
 val reset : t -> unit
+(** Clear channel reservations and statistics (start of a run). *)
+
+val export : t -> Numa_trace.Profile.interconnect
+(** Immutable snapshot of the occupancy statistics since [reset]. *)

@@ -19,6 +19,7 @@ let mk_cell cline v =
   }
 
 let line ?name () = Coherence.make_line ?name ()
+let line_site (l : line) = l.Coherence.name
 let cell cline v = mk_cell cline v
 let cell' ?name v = mk_cell (Coherence.make_line ?name ()) v
 

@@ -26,11 +26,11 @@ let await b =
 
 let now = Sim_mem.now
 
-let run ~topology ~n_threads ?stop_after body =
+let run ~topology ~n_threads ?stop_after ?(profile = false) body =
   let stop = { deadline = stop_after; manual = false } in
   let r =
     try
-      Engine.run ~topology ~n_threads (fun ~tid ~cluster ->
+      Engine.run ~topology ~n_threads ~profile (fun ~tid ~cluster ->
           body ~stop ~tid ~cluster)
     with Engine.Thread_failure { tid; exn; backtrace } ->
       raise (Runtime_intf.Thread_failure { tid; exn; backtrace })
@@ -38,7 +38,8 @@ let run ~topology ~n_threads ?stop_after body =
   {
     Runtime_intf.elapsed_ns = r.Engine.end_time;
     threads_finished = r.Engine.threads_finished;
-    coherence_misses = Some r.Engine.coherence.Coherence.coherence_misses;
-    remote_txns = Some r.Engine.coherence.Coherence.remote_txns;
+    coherence = Some (Coherence.export r.Engine.coherence);
+    interconnect = Some r.Engine.icx;
     sim_events = Some r.Engine.events;
+    sites = r.Engine.sites;
   }

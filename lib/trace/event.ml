@@ -6,6 +6,8 @@ type kind =
   | Abort
   | Starvation_limit_hit
   | Enqueue
+  | Coh_transfer of { site : string; ns : int }
+  | Coh_invalidate of { site : string; ns : int }
 
 type t = { at : int; tid : int; cluster : int; kind : kind }
 
@@ -17,6 +19,23 @@ let kind_to_string = function
   | Abort -> "abort"
   | Starvation_limit_hit -> "starvation_limit_hit"
   | Enqueue -> "enqueue"
+  | Coh_transfer { site; ns } -> Printf.sprintf "coh_transfer:%s:%d" site ns
+  | Coh_invalidate { site; ns } ->
+      Printf.sprintf "coh_invalidate:%s:%d" site ns
+
+(* The coherence kinds carry their payload inside the string. The site
+   label may itself contain ':', so the ns field is split off from the
+   right. *)
+let coh_payload s ~prefix =
+  let pl = String.length prefix and sl = String.length s in
+  if sl <= pl || not (String.starts_with ~prefix s) then None
+  else
+    match String.rindex_opt s ':' with
+    | Some i when i >= pl -> (
+        match int_of_string_opt (String.sub s (i + 1) (sl - i - 1)) with
+        | Some ns -> Some (String.sub s pl (i - pl), ns)
+        | None -> None)
+    | _ -> None
 
 let kind_of_string = function
   | "acquire_local" -> Some Acquire_local
@@ -26,17 +45,24 @@ let kind_of_string = function
   | "abort" -> Some Abort
   | "starvation_limit_hit" -> Some Starvation_limit_hit
   | "enqueue" -> Some Enqueue
-  | _ -> None
+  | s -> (
+      match coh_payload s ~prefix:"coh_transfer:" with
+      | Some (site, ns) -> Some (Coh_transfer { site; ns })
+      | None -> (
+          match coh_payload s ~prefix:"coh_invalidate:" with
+          | Some (site, ns) -> Some (Coh_invalidate { site; ns })
+          | None -> None))
 
 let is_acquire = function
   | Acquire_local | Acquire_global -> true
   | Handoff_within_cohort | Handoff_global | Abort | Starvation_limit_hit
-  | Enqueue ->
+  | Enqueue | Coh_transfer _ | Coh_invalidate _ ->
       false
 
 let is_release = function
   | Handoff_within_cohort | Handoff_global -> true
-  | Acquire_local | Acquire_global | Abort | Starvation_limit_hit | Enqueue ->
+  | Acquire_local | Acquire_global | Abort | Starvation_limit_hit | Enqueue
+  | Coh_transfer _ | Coh_invalidate _ ->
       false
 
 let pp ppf e =

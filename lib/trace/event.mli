@@ -31,6 +31,15 @@ type kind =
           FAA, or the MCS/CLH tail swap). Emitted only by the plain
           queue locks; the linearisation point of queue order, which the
           FIFO oracle checks acquires against. *)
+  | Coh_transfer of { site : string; ns : int }
+      (** a cross-cluster cache-to-cache transfer of the line allocated
+          at [site], costing [ns] simulated nanoseconds (including
+          per-line queueing and interconnect-channel queueing). Emitted
+          only by the simulation engine when run with a coherence trace
+          sink; the serialised form is ["coh_transfer:SITE:NS"]. *)
+  | Coh_invalidate of { site : string; ns : int }
+      (** a write at [site] that had to invalidate remote sharers,
+          costing [ns] ns. Serialised as ["coh_invalidate:SITE:NS"]. *)
 
 type t = { at : int;  (** ns, substrate clock. *) tid : int; cluster : int; kind : kind }
 

@@ -81,7 +81,7 @@ let of_events ?(wait_p50 = Float.nan) ?(wait_p99 = Float.nan) events =
           end
       | Abort -> incr aborts
       | Starvation_limit_hit -> incr starvation
-      | Enqueue -> ())
+      | Enqueue | Coh_transfer _ | Coh_invalidate _ -> ())
     events;
   let batch_arr =
     Array.of_list (List.rev_map float_of_int !batches)

@@ -1,0 +1,92 @@
+(** Coherence attribution rollup — the profiler's answer to "why is this
+    lock slow", sitting beside {!Metrics} (which answers "how did the
+    cohort protocol behave").
+
+    A profile is produced by the simulation substrate: engine-global
+    coherence counters, interconnect occupancy/queueing statistics, and —
+    when per-site profiling was enabled for the run — a table of per-site
+    rows attributing traffic and stall time to the allocation site (the
+    [?name] label) of each cache line. Everything here is immutable
+    host-side data; collecting it mutates statistics only, never simulated
+    latencies, so profiles are schedule-neutral by construction (see
+    doc/SIMULATOR.md, "Profiling and attribution"). *)
+
+type coherence = {
+  accesses : int;
+  l1_hits : int;
+  local_hits : int;
+  coherence_misses : int;
+      (** local miss serviced by a remote cluster's cache — a
+          cache-to-cache transfer; the paper's Figure 3 metric. *)
+  memory_misses : int;
+  invalidations : int;  (** writes that invalidated remote sharers. *)
+  remote_txns : int;  (** transactions that crossed the interconnect. *)
+  waiter_scans : int;
+}
+(** Immutable snapshot of the engine-global [Coherence.stats]. *)
+
+type interconnect = {
+  txns : int;  (** cross-cluster transactions that took a channel. *)
+  queue_ns : int;  (** total ns transactions waited for a free channel. *)
+  busy_ns : int;  (** total channel-occupancy ns consumed. *)
+  peak_queue : int;
+      (** max number of already-busy channels observed at any
+          acquisition — the high-water mark of channel contention. *)
+}
+
+type site = {
+  site : string;  (** the line's [?name] label; [""] if unlabelled. *)
+  s_accesses : int;
+  s_l1_hits : int;
+  s_local_hits : int;  (** cluster-local hits and silent upgrades. *)
+  s_remote_transfers : int;  (** cache-to-cache transfers of this line. *)
+  s_memory_misses : int;
+  s_inval_sent : int;  (** writes here that invalidated remote copies. *)
+  s_inval_received : int;  (** remote copies of this line invalidated. *)
+  s_remote_txns : int;
+  s_stall_local_ns : int;  (** latency paid on local hits/upgrades. *)
+  s_stall_remote_ns : int;
+      (** latency paid on cross-cluster transfers, incl. per-line
+          queueing. *)
+  s_stall_memory_ns : int;
+  s_stall_interconnect_ns : int;
+      (** additional queueing for an interconnect channel. *)
+}
+
+type t = {
+  sites : site list;
+      (** one row per distinct site label, sorted by label; empty when
+          the run was not profiled per-site. *)
+  totals : coherence;
+  icx : interconnect;
+}
+
+val site_stall : site -> int
+(** Total stall ns attributed to the site, all causes. *)
+
+val remote_transfers : t -> int
+(** Sum of [s_remote_transfers] over the site table. *)
+
+val invalidations_sent : t -> int
+
+val stall_split : t -> int * int * int * int
+(** [(local, remote, memory, interconnect)] stall ns summed over sites. *)
+
+val remote_transfers_per_acquire : t -> acquires:int -> float
+(** Engine-total coherence misses per lock acquisition — the paper's
+    central "lock migration" cost; [nan] if [acquires <= 0]. *)
+
+val invalidations_per_release : t -> releases:int -> float
+
+val to_fields : ?acquires:int -> ?releases:int -> t -> (string * float) list
+(** Flat [coh_*] / [icx_*] metrics for the cohort-bench/2 artifact.
+    Ratio fields are [nan] unless the corresponding count is given. *)
+
+val to_json : t -> Json.t
+
+val ranked_sites : t -> site list
+(** Sites ordered by remote traffic (transfers + invalidations sent),
+    then total stall, then name — deterministic. *)
+
+val pp : Format.formatter -> t -> unit
+(** Two summary lines plus the ranked per-site table. *)

@@ -12,13 +12,21 @@
 #   4. engine host-throughput smoke (enginebench --smoke): NON-gating on
 #      the numbers — host wall-clock is noisy — it only has to run; the
 #      figures land in the log for eyeballing trends
-#   5. quick sim benchmark, emitting a cohort-bench JSON artifact
-#   6. determinism guard: re-run the same seed, byte-compare artifacts.
-#      Only the freshly emitted BENCH artifacts participate; committed
-#      HOSTPERF_*.json files measure host wall-clock and are never
-#      byte-compared (the regression gate globs BENCH_*.json only)
-#   7. regression gate: bench_diff against the newest committed
-#      BENCH_*.json (>10% throughput drop on any entry fails)
+#   5. paper-claim smoke: the coherence attribution profiler must show
+#      C-BO-MCS with strictly fewer remote cache-to-cache transfers per
+#      acquisition than plain MCS (repro profile --check)
+#   6. quick sim benchmark, emitting a cohort-bench JSON artifact
+#   7. determinism guard: re-run the same seed, byte-compare artifacts.
+#      The first run adds --profile (attribution report on stdout), the
+#      second does not: profiling is stats-only, so the same-seed
+#      artifacts must still be byte-identical. Only the freshly emitted
+#      BENCH artifacts participate; committed HOSTPERF_*.json files
+#      measure host wall-clock and are never byte-compared (the
+#      regression gate globs BENCH_*.json only)
+#   8. regression gate: bench_diff against the newest committed
+#      BENCH_*.json (>10% throughput drop on any entry fails; when both
+#      artifacts are cohort-bench/2 it also prints informational
+#      coherence-rollup deltas)
 #
 # When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
 # and tests already ran as alias dependencies, and the executables are
@@ -30,6 +38,7 @@ if [[ -n "${INSIDE_DUNE:-}" ]]; then
   torture() { bin/torture.exe "$@"; }
   explore() { bin/explore.exe "$@"; }
   enginebench() { bin/enginebench.exe "$@"; }
+  repro() { bin/repro.exe "$@"; }
   bench() { bench/main.exe "$@"; }
   bench_diff() { bin/bench_diff.exe "$@"; }
 else
@@ -41,6 +50,7 @@ else
   torture() { dune exec --no-build bin/torture.exe -- "$@"; }
   explore() { dune exec --no-build bin/explore.exe -- "$@"; }
   enginebench() { dune exec --no-build bin/enginebench.exe -- "$@"; }
+  repro() { dune exec --no-build bin/repro.exe -- "$@"; }
   bench() { dune exec --no-build bench/main.exe -- "$@"; }
   bench_diff() { dune exec --no-build bin/bench_diff.exe -- "$@"; }
 fi
@@ -57,15 +67,20 @@ explore --quick
 echo "== ci: engine host-throughput smoke (informational, non-gating)"
 enginebench --smoke
 
-echo "== ci: quick sim benchmark -> BENCH_head.json"
-bench quick --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"
+echo "== ci: paper-claim smoke (C-BO-MCS fewer remote transfers/acq than MCS)"
+repro profile --check --duration-ms 2 >"$tmp/profile.log"
+tail -n 1 "$tmp/profile.log"
+
+echo "== ci: quick sim benchmark -> BENCH_head.json (with --profile)"
+bench quick --profile --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"
 tail -n 3 "$tmp/bench1.log"
 
-echo "== ci: determinism guard (same-seed re-run, byte diff)"
+echo "== ci: determinism guard (same-seed re-run without --profile, byte diff)"
 bench quick --emit-bench-json "$tmp/BENCH_head2.json" >"$tmp/bench2.log"
 if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
   echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
-  echo "has picked up wall-clock or global-Random nondeterminism." >&2
+  echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
+  echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
   exit 1
 fi
 echo "   artifacts byte-identical"

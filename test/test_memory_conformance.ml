@@ -58,6 +58,21 @@ module Checks (M : MEM) = struct
     check_int "sibling untouched" 2 (M.read b);
     check_int "written cell" 10 (M.read a)
 
+  let line_site_labels () =
+    (* Labelled creation keys the coherence profiler's attribution; both
+       substrates must preserve the label and default to "". *)
+    let named = M.line ~name:"conf.site" () in
+    check_bool "line_site returns the creation label"
+      (M.line_site named = "conf.site");
+    check_bool "unnamed line carries the empty label"
+      (M.line_site (M.line ()) = "");
+    let a = M.cell named 3 and b = M.cell named 4 in
+    M.write a 30;
+    check_int "labelled line: sibling untouched" 4 (M.read b);
+    check_int "labelled line: written cell" 30 (M.read a);
+    let c = M.cell' ~name:"conf.cell" 11 in
+    check_int "labelled cell' roundtrip" 11 (M.read c)
+
   let wait_until_immediate () =
     let c = M.cell' 42 in
     check_int "wait on satisfied pred" 42 (M.wait_until c (fun v -> v = 42))
@@ -101,6 +116,7 @@ module Checks (M : MEM) = struct
       ("swap", swap_semantics);
       ("fetch_and_add", faa_semantics);
       ("line sharing independence", cells_on_one_line_independent);
+      ("line site labels", line_site_labels);
       ("wait_until immediate", wait_until_immediate);
       ("wait_until_for immediate", wait_until_for_immediate);
       ("wait_until_for timeout", wait_until_for_timeout);

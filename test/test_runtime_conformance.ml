@@ -77,7 +77,10 @@ struct
           true (it > 0))
       iters;
     Alcotest.(check bool) "sim-only stats present iff deterministic" true
-      (RT.deterministic = (stats.Runtime_intf.coherence_misses <> None))
+      (RT.deterministic = (stats.Runtime_intf.coherence <> None));
+    Alcotest.(check bool) "interconnect stats ride with coherence stats" true
+      ((stats.Runtime_intf.coherence <> None)
+      = (stats.Runtime_intf.interconnect <> None))
 
   let test_manual_stop () =
     let n = 4 in

@@ -179,6 +179,54 @@ let test_jsonl_roundtrip () =
             (List.length back);
           Alcotest.(check bool) "round-trips exactly" true (back = events))
 
+(* --- coherence attribution event kinds --------------------------------- *)
+
+(* The profiler's event kinds carry their payload inside the kind string
+   ("coh_transfer:SITE:NS"); the site label may itself contain ':', so
+   parsing splits the ns field off from the right. *)
+let test_coh_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      let s = Ev.kind_to_string k in
+      match Ev.kind_of_string s with
+      | Some k' -> Alcotest.(check bool) (s ^ " round-trips") true (k = k')
+      | None -> Alcotest.fail ("kind_of_string failed on " ^ s))
+    [
+      Ev.Coh_transfer { site = "mcs.tail"; ns = 240 };
+      Ev.Coh_invalidate { site = "bo.global"; ns = 90 };
+      Ev.Coh_transfer { site = "cohort.count.c:3"; ns = 0 };
+      Ev.Coh_invalidate { site = "a:b:c"; ns = 7 };
+      Ev.Coh_transfer { site = ""; ns = 1 };
+    ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s ^ " rejected") true
+        (Ev.kind_of_string s = None))
+    [ "coh_transfer:"; "coh_transfer:site"; "coh_invalidate:site:xyz" ]
+
+let test_coh_jsonl_roundtrip () =
+  let events =
+    [
+      { Ev.at = 10; tid = 1; cluster = 0;
+        kind = Ev.Coh_transfer { site = "mcs.node"; ns = 320 } };
+      { Ev.at = 20; tid = 5; cluster = 1;
+        kind = Ev.Coh_invalidate { site = "lbench.line:7"; ns = 180 } };
+    ]
+  in
+  let path = Filename.temp_file "cohort_coh" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = T.Jsonl.to_file path in
+      List.iter (T.Sink.emit sink) events;
+      T.Sink.close sink;
+      match T.Jsonl.read_file path with
+      | Error e -> Alcotest.fail ("read_file: " ^ e)
+      | Ok back ->
+          Alcotest.(check bool) "coh events round-trip exactly" true
+            (back = events))
+
 (* --- Chrome trace_event schema ---------------------------------------- *)
 
 let test_chrome_schema () =
@@ -280,6 +328,10 @@ let suite =
     ( "export",
       [
         Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "coherence kind round-trip" `Quick
+          test_coh_kind_roundtrip;
+        Alcotest.test_case "coherence jsonl round-trip" `Quick
+          test_coh_jsonl_roundtrip;
         Alcotest.test_case "chrome trace_event schema" `Quick
           test_chrome_schema;
         Alcotest.test_case "metrics rollup" `Quick test_metrics_rollup;
