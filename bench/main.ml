@@ -193,6 +193,45 @@ let run_sim ~quick ~trace ~emit ~profile =
   X.print_table (X.topology_sensitivity ~n_threads:64 ~duration ~seed ());
   X.print_table
     (X.composition_matrix ~topology ~n_threads:64 ~duration ~seed ());
+  (* Extension: the same LBench curve on the hierarchical rack preset
+     (two racks x two sockets, three latency tiers), plus the flat-vs-rack
+     head-to-head. Same seed and durations as the main sweep. *)
+  let rack = Numa_base.Topology.rack in
+  let rsweep =
+    X.microbench_sweep
+      ~locks:(List.map (R.with_trace sink) R.microbench_locks)
+      ~rollup ~topology:rack ~threads:fig_threads ~duration ~seed ()
+  in
+  Harness.Report.print_series
+    ~title:
+      "Extension: LBench throughput on the rack preset (2 racks x 2 sockets, \
+       pairs / s)"
+    ~x_label:"threads" ~columns:rsweep.X.columns
+    ~rows:(X.throughput_rows rsweep) ~fmt:Harness.Report.fmt_si ();
+  X.print_table (X.hierarchy_comparison ~n_threads:64 ~duration ~seed ());
+  (* Extension: oversubscription. 2048 logical threads wrap onto the
+     T5440's 256 contexts (8 fibers per hardware thread); short window,
+     queue-lock subset — the point is that the sweep completes and the
+     cohort ordering survives heavy multiplexing. *)
+  let oversub_threads = [ 512; 2048 ] in
+  let oversub_locks =
+    List.filter
+      (fun e -> List.mem e.R.name [ "MCS"; "C-BO-MCS"; "C-TKT-MCS" ])
+      R.microbench_locks
+  in
+  let osweep =
+    X.microbench_sweep
+      ~locks:(List.map (R.with_trace sink) oversub_locks)
+      ~rollup ~topology ~threads:oversub_threads
+      ~duration:(if quick then 400_000 else 1_000_000)
+      ~seed ()
+  in
+  Harness.Report.print_series
+    ~title:
+      "Extension: oversubscribed LBench (logical threads wrapped onto the \
+       T5440's 256 contexts, pairs / s)"
+    ~x_label:"threads" ~columns:osweep.X.columns
+    ~rows:(X.throughput_rows osweep) ~fmt:Harness.Report.fmt_si ();
   finish_trace ();
   (match trace with
   | Some path -> Printf.printf "Wrote lock-event trace to %s\n%!" path
@@ -203,6 +242,8 @@ let run_sim ~quick ~trace ~emit ~profile =
       let entries =
         sweep_entries ~experiment:"lbench" sweep
         @ sweep_entries ~experiment:"lbench-abortable" asweep
+        @ sweep_entries ~experiment:"lbench-rack" rsweep
+        @ sweep_entries ~experiment:"lbench-oversub" osweep
       in
       Harness.Bench_json.(write path (make ~substrate:"sim" ~seed entries));
       Printf.printf "Wrote bench artifact to %s\n%!" path

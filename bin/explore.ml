@@ -43,14 +43,14 @@ let pp_failure sc (trace, v) =
       Format.printf "UNSTABLE: failure did not replay under shrinking:@.%s@."
         (V.to_string v)
 
-let explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed ~runs
-    ~prune name =
+let explore_one ~mode ~preemptions ~budget ?topology ~threads ~sections ~seed
+    ~runs ~prune name =
   match find_lock name with
   | None ->
       Printf.printf "%-20s unknown lock\n%!" name;
       `Error
   | Some lock -> (
-      let sc = E.scenario ~n_threads:threads ~sections lock in
+      let sc = E.scenario ?topology ~n_threads:threads ~sections lock in
       match mode with
       | `Exhaustive -> (
           let r = E.exhaustive ~preemptions ~budget ~prune sc in
@@ -80,7 +80,7 @@ let explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed ~runs
               pp_failure sc f;
               `Caught))
 
-let run_replay ~threads ~sections name trace_str =
+let run_replay ?topology ~threads ~sections name trace_str =
   match (find_lock name, D.of_string trace_str) with
   | None, _ ->
       Printf.printf "unknown lock %S\n" name;
@@ -90,7 +90,7 @@ let run_replay ~threads ~sections name trace_str =
         trace_str;
       1
   | Some lock, Some trace -> (
-      let sc = E.scenario ~n_threads:threads ~sections lock in
+      let sc = E.scenario ?topology ~n_threads:threads ~sections lock in
       let r = E.run_once ~record:true sc trace in
       Format.printf "%a@." D.pp_interleaving r.E.steps;
       match r.E.outcome with
@@ -102,13 +102,13 @@ let run_replay ~threads ~sections name trace_str =
             name (V.to_string v);
           0)
 
-let run_mutants ~preemptions ~budget ~threads ~sections ~prune =
+let run_mutants ~preemptions ~budget ?topology ~threads ~sections ~prune () =
   let bad = ref 0 in
   List.iter
     (fun (module L : LI.LOCK) ->
       match
-        explore_one ~mode:`Exhaustive ~preemptions ~budget ~threads ~sections
-          ~seed:0 ~runs:0 ~prune L.name
+        explore_one ~mode:`Exhaustive ~preemptions ~budget ?topology ~threads
+          ~sections ~seed:0 ~runs:0 ~prune L.name
       with
       | `Caught -> ()
       | `Clean ->
@@ -119,17 +119,20 @@ let run_mutants ~preemptions ~budget ~threads ~sections ~prune =
   if !bad = 0 then Printf.printf "all %d mutants caught\n" (List.length Mut.all);
   if !bad = 0 then 0 else 1
 
-let run_quick () =
+let run_quick ?topology () =
   (* Exhaustive exploration of the genuine C-BO-MCS at the full
      2-preemption bound must come back clean and exhausted, and the
      skip-limit mutant must be caught: oracle soundness + sensitivity in
-     one cheap smoke. *)
+     one cheap smoke. The soundness leg honours --topology; the mutant
+     leg stays on the default machine, where round-robin placement
+     co-locates two of the three threads so a skip-limit bug can fire at
+     all. *)
   let get name =
     match find_lock name with
     | Some l -> l
     | None -> failwith ("explore --quick: missing lock " ^ name)
   in
-  let sc = E.scenario (get "C-BO-MCS") in
+  let sc = E.scenario ?topology (get "C-BO-MCS") in
   let r = E.exhaustive ~preemptions:2 ~budget:10_000 ~prune:true sc in
   (match r.E.failure with
   | None ->
@@ -198,6 +201,23 @@ let mutants_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke: C-BO-MCS clean + skip-limit mutant caught.")
 
+let topology_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Numa_base.Topology.of_spec s)
+  in
+  let print ppf t = Format.fprintf ppf "%s" t.Numa_base.Topology.name in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some topology_conv) None
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Machine model for the scenarios: t5440|small|rack, CxT for a flat \
+           machine, or RxSxT for a rack-of-sockets hierarchy (default: \
+           small).")
+
 let no_prune_arg =
   Arg.(
     value & flag
@@ -205,16 +225,18 @@ let no_prune_arg =
         ~doc:"Disable the commuting-deviation reduction and run the full \
               exhaustive BFS.")
 
-let main locks mode preemptions budget threads sections seed runs replay
-    mutants quick no_prune =
+let main locks mode preemptions budget topology threads sections seed runs
+    replay mutants quick no_prune =
   let prune = not no_prune in
-  if quick then exit (run_quick ());
+  if quick then exit (run_quick ?topology ());
   if mutants then
-    exit (run_mutants ~preemptions ~budget ~threads ~sections ~prune);
+    exit
+      (run_mutants ~preemptions ~budget ?topology ~threads ~sections ~prune ());
   match replay with
   | Some trace_str -> (
       match locks with
-      | [ name ] -> exit (run_replay ~threads ~sections name trace_str)
+      | [ name ] ->
+          exit (run_replay ?topology ~threads ~sections name trace_str)
       | _ ->
           prerr_endline "--replay needs exactly one LOCK";
           exit 2)
@@ -227,8 +249,8 @@ let main locks mode preemptions budget threads sections seed runs replay
       List.iter
         (fun name ->
           match
-            explore_one ~mode ~preemptions ~budget ~threads ~sections ~seed
-              ~runs ~prune name
+            explore_one ~mode ~preemptions ~budget ?topology ~threads
+              ~sections ~seed ~runs ~prune name
           with
           | `Clean -> ()
           | `Caught | `Error -> incr failures)
@@ -241,7 +263,7 @@ let cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const main $ locks_arg $ mode_arg $ preemptions_arg $ budget_arg
-      $ threads_arg $ sections_arg $ seed_arg $ runs_arg $ replay_arg
-      $ mutants_arg $ quick_arg $ no_prune_arg)
+      $ topology_arg $ threads_arg $ sections_arg $ seed_arg $ runs_arg
+      $ replay_arg $ mutants_arg $ quick_arg $ no_prune_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,7 +13,22 @@ module R = Harness.Report
 module LR = Harness.Lock_registry
 module W = Apps.Kv_workload
 
-let topology = Numa_base.Topology.t5440
+let topology_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Numa_base.Topology.of_spec s)
+  in
+  let print ppf t = Format.fprintf ppf "%s" t.Numa_base.Topology.name in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Numa_base.Topology.t5440
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Machine model: t5440|small|rack, CxT for a flat machine (e.g. \
+           4x64), or RxSxT for a rack-of-sockets hierarchy (e.g. 2x2x64). \
+           Thread counts beyond its capacity run oversubscribed.")
 
 let threads_conv =
   let parse s =
@@ -140,7 +155,7 @@ let maybe_csv csv_dir name ~x_label ~columns ~rows =
       Printf.printf "wrote %s\n%!" path)
     csv_dir
 
-let banner duration seed =
+let banner topology duration seed =
   Printf.printf "%s\n%!"
     (X.params_summary ~topology ~duration:(duration * 1_000_000) ~seed)
 
@@ -176,9 +191,9 @@ let print_sweep_profiles (s : X.sweep) =
       print_profile ~name col.(Array.length col - 1))
     s.X.columns
 
-let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false)
+let run_figs ~which ~topology ?(sink = Numa_trace.Sink.noop) ?(rollup = false)
     ?(profile = false) threads duration seed csv_dir =
-  banner duration seed;
+  banner topology duration seed;
   let duration = duration * 1_000_000 in
   let s =
     X.microbench_sweep
@@ -206,24 +221,25 @@ let run_figs ~which ?(sink = Numa_trace.Sink.noop) ?(rollup = false)
   s
 
 let fig_cmd name which doc =
-  let run threads duration seed csv_dir trace emit profile =
+  let run topology threads duration seed csv_dir trace emit profile =
     let sink, finish, rollup = observe trace emit in
     let s =
-      run_figs ~which ~sink ~rollup ~profile threads duration seed csv_dir
+      run_figs ~which ~topology ~sink ~rollup ~profile threads duration seed
+        csv_dir
     in
     finish ();
     emit_artifact emit ~seed [ ("lbench", s) ]
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run
+      const run $ topology_arg
       $ threads_arg ~default:default_threads
       $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg
       $ profile_flag)
 
 let fig6_cmd =
-  let run threads duration seed patience csv_dir trace emit =
-    banner duration seed;
+  let run topology threads duration seed patience csv_dir trace emit =
+    banner topology duration seed;
     let duration = duration * 1_000_000 in
     let sink, finish, rollup = observe trace emit in
     let s =
@@ -241,14 +257,14 @@ let fig6_cmd =
   Cmd.v
     (Cmd.info "fig6" ~doc:"Abortable lock throughput (Figure 6).")
     Term.(
-      const run
+      const run $ topology_arg
       $ threads_arg ~default:default_threads
       $ duration_arg $ seed_arg $ patience_arg $ csv_dir_arg $ trace_arg
       $ emit_arg)
 
 let table1_cmd =
-  let run threads duration seed mixes csv_dir trace =
-    banner duration seed;
+  let run topology threads duration seed mixes csv_dir trace =
+    banner topology duration seed;
     let duration = duration * 1_000_000 in
     let sink, finish, _ = observe trace None in
     let locks = List.map (LR.with_trace sink) LR.app_locks in
@@ -265,13 +281,13 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"memcached-style KV store speedups (Table 1).")
     Term.(
-      const run
+      const run $ topology_arg
       $ threads_arg ~default:default_app_threads
       $ duration_arg $ seed_arg $ mix_arg $ csv_dir_arg $ trace_arg)
 
 let table2_cmd =
-  let run threads duration seed csv_dir trace =
-    banner duration seed;
+  let run topology threads duration seed csv_dir trace =
+    banner topology duration seed;
     let duration = duration * 1_000_000 in
     let sink, finish, _ = observe trace None in
     let locks = List.map (LR.with_trace sink) LR.app_locks in
@@ -284,13 +300,13 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Allocator stress, malloc-free pairs/ms (Table 2).")
     Term.(
-      const run
+      const run $ topology_arg
       $ threads_arg ~default:[ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
       $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg)
 
 let ablation_handoff_cmd =
-  let run n duration seed =
-    banner duration seed;
+  let run topology n duration seed =
+    banner topology duration seed;
     let t =
       X.ablation_handoff_bound ~topology ~n_threads:n
         ~duration:(duration * 1_000_000) ~seed ()
@@ -301,15 +317,15 @@ let ablation_handoff_cmd =
     (Cmd.info "ablation-handoff"
        ~doc:"Sweep of the may-pass-local bound (section 3.7).")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value & opt int 64
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
       $ duration_arg $ seed_arg)
 
 let ablation_policy_cmd =
-  let run n duration seed =
-    banner duration seed;
+  let run topology n duration seed =
+    banner topology duration seed;
     X.print_table
       (X.ablation_policy ~topology ~n_threads:n
          ~duration:(duration * 1_000_000) ~seed ())
@@ -318,15 +334,15 @@ let ablation_policy_cmd =
     (Cmd.info "ablation-policy"
        ~doc:"Counted vs time-budget may-pass-local policies (section 2.1).")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value & opt int 64
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
       $ duration_arg $ seed_arg)
 
 let ext_blocking_cmd =
-  let run threads duration seed =
-    banner duration seed;
+  let run topology threads duration seed =
+    banner topology duration seed;
     X.print_table
       (X.extension_blocking ~topology ~threads
          ~duration:(duration * 1_000_000) ~seed ())
@@ -335,13 +351,13 @@ let ext_blocking_cmd =
     (Cmd.info "ext-blocking"
        ~doc:"Extension: the blocking cohort lock C-BLK-BLK.")
     Term.(
-      const run
+      const run $ topology_arg
       $ threads_arg ~default:default_app_threads
       $ duration_arg $ seed_arg)
 
 let ext_rw_cmd =
-  let run n duration seed =
-    banner duration seed;
+  let run topology n duration seed =
+    banner topology duration seed;
     X.print_table
       (X.extension_rw ~topology ~n_threads:n ~duration:(duration * 1_000_000)
          ~seed ())
@@ -350,15 +366,15 @@ let ext_rw_cmd =
     (Cmd.info "ext-rw"
        ~doc:"Extension: the NUMA-aware reader-writer lock C-RW-WP.")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value & opt int 64
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
       $ duration_arg $ seed_arg)
 
 let matrix_cmd =
-  let run n duration seed =
-    banner duration seed;
+  let run topology n duration seed =
+    banner topology duration seed;
     X.print_table
       (X.composition_matrix ~topology ~n_threads:n
          ~duration:(duration * 1_000_000) ~seed ())
@@ -368,15 +384,15 @@ let matrix_cmd =
        ~doc:
         "LBench throughput of all 16 global x local cohort compositions.")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value & opt int 64
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
       $ duration_arg $ seed_arg)
 
 let ext_bimodal_cmd =
-  let run n duration seed =
-    banner duration seed;
+  let run topology n duration seed =
+    banner topology duration seed;
     X.print_table
       (X.extension_bimodal ~topology ~n_threads:n
          ~duration:(duration * 1_000_000) ~seed ())
@@ -385,7 +401,7 @@ let ext_bimodal_cmd =
     (Cmd.info "ext-bimodal"
        ~doc:"Extension: bi-modal (phase-alternating) KV workload.")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value & opt int 32
           & info [ "n-threads" ] ~docv:"N" ~doc:"Server threads.")
@@ -393,7 +409,7 @@ let ext_bimodal_cmd =
 
 let topology_cmd =
   let run n duration seed =
-    banner duration seed;
+    banner Numa_base.Topology.t5440 duration seed;
     X.print_table
       (X.topology_sensitivity ~n_threads:n ~duration:(duration * 1_000_000)
          ~seed ())
@@ -409,8 +425,8 @@ let topology_cmd =
       $ duration_arg $ seed_arg)
 
 let ablation_hbo_cmd =
-  let run duration seed =
-    banner duration seed;
+  let run topology duration seed =
+    banner topology duration seed;
     let t =
       X.ablation_hbo_tuning ~topology ~duration:(duration * 1_000_000) ~seed ()
     in
@@ -419,15 +435,34 @@ let ablation_hbo_cmd =
   Cmd.v
     (Cmd.info "ablation-hbo"
        ~doc:"HBO backoff-parameter instability across workloads.")
-    Term.(const run $ duration_arg $ seed_arg)
+    Term.(const run $ topology_arg $ duration_arg $ seed_arg)
+
+let hier_cmd =
+  let run n duration seed =
+    banner Numa_base.Topology.rack duration seed;
+    X.print_table
+      (X.hierarchy_comparison ~n_threads:n ~duration:(duration * 1_000_000)
+         ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "hier"
+       ~doc:
+         "Flat T5440 vs the rack preset (two racks of two sockets, three \
+          latency tiers): the cohort gain under deeper distance structure.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
 
 let profile_cmd =
   (* The paper-claim smoke (ci.sh): C-BO-MCS must move the lock data
      across clusters less often than plain MCS — section 4's explanation
      of the cohort advantage, here measured directly by the attribution
      profiler instead of inferred from throughput. *)
-  let run lock_names n duration seed check =
-    banner duration seed;
+  let run topology lock_names n duration seed check =
+    banner topology duration seed;
     let duration = duration * 1_000_000 in
     let locks =
       List.map
@@ -501,7 +536,7 @@ let profile_cmd =
           cache-to-cache transfers, invalidations, stall-ns split by cause, \
           interconnect queueing) on the LBench workload.")
     Term.(
-      const run
+      const run $ topology_arg
       $ Arg.(
           value
           & pos_all string [ "MCS"; "C-BO-MCS" ]
@@ -520,12 +555,11 @@ let profile_cmd =
                  used by scripts/ci.sh)."))
 
 let all_cmd =
-  let run duration seed csv_dir trace emit =
-    banner duration seed;
+  let run topology duration seed csv_dir trace emit =
     let sink, finish, rollup = observe trace emit in
     let sweep =
-      run_figs ~which:[ `F2; `F3; `F4; `F5 ] ~sink ~rollup default_threads
-        duration seed csv_dir
+      run_figs ~which:[ `F2; `F3; `F4; `F5 ] ~topology ~sink ~rollup
+        default_threads duration seed csv_dir
     in
     let d = duration * 1_000_000 in
     let s =
@@ -552,6 +586,7 @@ let all_cmd =
     X.print_table (X.extension_rw ~topology ~n_threads:64 ~duration:d ~seed ());
     X.print_table (X.extension_bimodal ~topology ~n_threads:32 ~duration:d ~seed ());
     X.print_table (X.topology_sensitivity ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.hierarchy_comparison ~n_threads:64 ~duration:d ~seed ());
     X.print_table (X.composition_matrix ~topology ~n_threads:64 ~duration:d ~seed ());
     finish ();
     emit_artifact emit ~seed [ ("lbench", sweep); ("lbench-abortable", s) ]
@@ -559,7 +594,8 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every figure and table.")
     Term.(
-      const run $ duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg)
+      const run $ topology_arg $ duration_arg $ seed_arg $ csv_dir_arg
+      $ trace_arg $ emit_arg)
 
 let () =
   let cmds =
@@ -576,6 +612,7 @@ let () =
       ablation_hbo_cmd;
       ablation_policy_cmd;
       topology_cmd;
+      hier_cmd;
       ext_blocking_cmd;
       ext_rw_cmd;
       ext_bimodal_cmd;

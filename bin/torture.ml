@@ -4,6 +4,7 @@
    exclusion, full progress, and post-abort lock health on each.
 
      dune exec bin/torture.exe -- [rounds] [seed] [--native] [--oracle]
+                                  [--topology SPEC]
 
    The campaign itself is substrate-generic (Harness.Torture_core); by
    default it drives simulated fibers, where every run is deterministic
@@ -14,17 +15,32 @@
    replayable). --oracle additionally enables the cohort-handoff-legality
    and FIFO property oracles from Numa_check (sim only: they consume the
    trace stream, which is serialised only on the deterministic runtime).
-   Exits non-zero on the first violation. *)
+   --topology pins every case to one machine (t5440|small|rack|CxT|RxSxT)
+   instead of the per-case generated flat one; cases with more threads
+   than it has contexts run oversubscribed. Exits non-zero on the first
+   violation. *)
 
 module Sim_torture =
   Harness.Torture_core.Make (Numasim.Sim_mem) (Numasim.Sim_runtime)
 
 let () =
-  let native = Array.exists (fun a -> a = "--native") Sys.argv in
-  let oracles = Array.exists (fun a -> a = "--oracle") Sys.argv in
-  let positional =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
+  let rec parse native oracles topology positional = function
+    | [] -> (native, oracles, topology, List.rev positional)
+    | "--native" :: rest -> parse true oracles topology positional rest
+    | "--oracle" :: rest -> parse native true topology positional rest
+    | "--topology" :: spec :: rest -> (
+        match Numa_base.Topology.of_spec spec with
+        | Ok t -> parse native oracles (Some t) positional rest
+        | Error e ->
+            prerr_endline ("torture: " ^ e);
+            exit 2)
+    | [ "--topology" ] ->
+        prerr_endline "torture: --topology needs a SPEC";
+        exit 2
+    | a :: rest -> parse native oracles topology (a :: positional) rest
+  in
+  let native, oracles, topology, positional =
+    parse false false None [] (List.tl (Array.to_list Sys.argv))
   in
   let rounds =
     match positional with
@@ -34,10 +50,16 @@ let () =
   let seed = match positional with _ :: s :: _ -> int_of_string s | _ -> 1 in
   let log msg = Printf.printf "%s\n%!" msg in
   let failures =
-    if native then Harness.Native.Torture.campaign ~oracles ~log ~rounds ~seed ()
-    else Sim_torture.campaign ~oracles ~log ~rounds ~seed ()
+    if native then
+      Harness.Native.Torture.campaign ~oracles ?topology ~log ~rounds ~seed ()
+    else Sim_torture.campaign ~oracles ?topology ~log ~rounds ~seed ()
   in
   let substrate = if native then "native domains" else "sim" in
+  let substrate =
+    match topology with
+    | Some t -> substrate ^ " on " ^ t.Numa_base.Topology.name
+    | None -> substrate
+  in
   let suffix = if oracles then " + oracles" else "" in
   if failures = 0 then begin
     Printf.printf

@@ -27,6 +27,9 @@ type run_stats = {
   interconnect : Numa_trace.Profile.interconnect option;
       (** interconnect occupancy/queueing stats; simulation substrate
           only. *)
+  interconnect_levels : Numa_trace.Profile.interconnect_level list option;
+      (** per-level interconnect stats, outermost level first; simulation
+          substrate only. *)
   sim_events : int option;  (** simulation substrate only. *)
   sites : Numa_trace.Profile.site list option;
       (** per-site coherence attribution; [Some] iff the run was both on
@@ -82,7 +85,11 @@ module type RUNTIME = sig
       for per-site coherence attribution ([run_stats.sites]); runtimes
       that cannot attribute (the native one) accept and ignore it.
 
-      @raise Invalid_argument if [n_threads] < 1 or exceeds the topology
-        capacity.
+      [n_threads] may exceed [Topology.total_threads topology]: surplus
+      logical threads wrap onto hardware contexts via
+      [Topology.context_of_thread] (oversubscription) and inherit the
+      wrapped context's cluster.
+
+      @raise Invalid_argument if [n_threads] < 1.
       @raise Thread_failure if an exception escapes a thread body. *)
 end

@@ -81,6 +81,9 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
                   Option.value stats.Runtime_intf.sites ~default:[];
                 totals;
                 icx;
+                icx_levels =
+                  Option.value stats.Runtime_intf.interconnect_levels
+                    ~default:[];
               }
         | _ -> None);
     }

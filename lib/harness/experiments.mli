@@ -156,6 +156,19 @@ val topology_sensitivity :
     2-socket x86, the paper's T5440, and a hypothetical 8-socket
     machine. *)
 
+val hierarchy_comparison :
+  n_threads:int -> duration:int -> seed:int -> unit -> table
+(** The flat T5440 against the {!Numa_base.Topology.rack} preset (two
+    racks of two sockets, three latency tiers): same cluster shape,
+    different distance structure, so the cohort gain isolates the cost of
+    cross-rack lock migration. *)
+
+val cfg_for :
+  Numa_base.Topology.t -> int list -> Cohort.Lock_intf.config
+(** [base_cfg] widened so [max_threads] covers the largest thread count
+    in a sweep — required for oversubscribed sweeps, a no-op for
+    in-capacity ones. *)
+
 val extension_bimodal :
   topology:Numa_base.Topology.t ->
   n_threads:int ->

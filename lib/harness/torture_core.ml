@@ -42,23 +42,32 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   module R = Lock_registry.Make (M)
   module CL = Check_lock.Make (M)
 
-  let topology_of c =
-    Topology.make ~name:"torture" ~clusters:c.c_clusters ~threads_per_cluster:8
-      Latency.t5440
+  (* A [?topology] override (the --topology CLI flag) pins every case to
+     one machine instead of the generated flat one; cases whose thread
+     count exceeds its contexts then run oversubscribed, so [max_threads]
+     must cover both. The default path is unchanged: generated machines
+     always hold at least the 16 threads a case can ask for. *)
+  let topology_of ?topology c =
+    match topology with
+    | Some t -> t
+    | None ->
+        Topology.make ~name:"torture" ~clusters:c.c_clusters
+          ~threads_per_cluster:8 Latency.t5440
 
-  let config_of ~tweak c =
+  let config_of ?topology ~tweak c =
+    let topo = topology_of ?topology c in
     tweak
       {
         LI.default with
-        LI.clusters = c.c_clusters;
-        max_threads = Topology.total_threads (topology_of c);
+        LI.clusters = topo.Topology.clusters;
+        max_threads = max (Topology.total_threads topo) c.c_threads;
         handoff_policy = c.c_policy;
       }
 
   (* Counters are host [Atomic]s: free in simulated time, and sound under
      native domains even when the lock under test is broken (which is
      precisely when they matter). *)
-  let run_case ?(oracles = false) c =
+  let run_case ?(oracles = false) ?topology c =
     match R.find c.c_lock with
     | None -> Error (Printf.sprintf "unknown lock %S" c.c_lock)
     | Some e -> (
@@ -72,8 +81,8 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
         let module L =
           (val CL.wrap ~checks e.Lock_registry.lock : LI.LOCK)
         in
-        let topology = topology_of c in
-        let cfg = config_of ~tweak:e.Lock_registry.tweak c in
+        let topology = topology_of ?topology c in
+        let cfg = config_of ~topology ~tweak:e.Lock_registry.tweak c in
         let l = L.create cfg in
         let iters = 20 in
         let in_cs = Atomic.make 0 in
@@ -108,14 +117,14 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
             { exn = Check_lock.Protocol_violation v; _ } ->
             Error (Numa_check.Violation.to_string v))
 
-  let run_abortable_case c =
+  let run_abortable_case ?topology c =
     let locks = R.abortable_locks in
     let e = List.nth locks (c.c_seed mod List.length locks) in
     let module L =
       (val e.Lock_registry.a_lock : LI.ABORTABLE_LOCK)
     in
-    let topology = topology_of c in
-    let cfg = config_of ~tweak:e.Lock_registry.a_tweak c in
+    let topology = topology_of ?topology c in
+    let cfg = config_of ~topology ~tweak:e.Lock_registry.a_tweak c in
     let l = L.create cfg in
     let in_cs = Atomic.make 0 in
     let violations = Atomic.make 0 in
@@ -151,18 +160,18 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   (* One campaign: [rounds] x (a random plain-lock case + a random
      abortable case), reporting failures to [log]. Returns the failure
      count. *)
-  let campaign ?(oracles = false) ~log ~rounds ~seed () =
+  let campaign ?(oracles = false) ?topology ~log ~rounds ~seed () =
     let rng = Prng.create seed in
     let failures = ref 0 in
     for round = 1 to rounds do
       let c = gen_case rng R.all_locks in
-      (match run_case ~oracles c with
+      (match run_case ~oracles ?topology c with
       | Ok () -> ()
       | Error msg ->
           incr failures;
           log (Printf.sprintf "FAIL (round %d): %s\n  %s" round msg (pp_case c)));
       let ca = gen_case rng R.all_locks in
-      match run_abortable_case ca with
+      match run_abortable_case ?topology ca with
       | Ok () -> ()
       | Error msg ->
           incr failures;

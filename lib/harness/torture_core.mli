@@ -27,24 +27,30 @@ module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNT
   module R : Lock_registry.S
   (** The registry instance the campaign draws cases from. *)
 
-  val run_case : ?oracles:bool -> tcase -> (unit, string) result
+  val run_case :
+    ?oracles:bool -> ?topology:Numa_base.Topology.t -> tcase ->
+    (unit, string) result
   (** Run one plain-lock case (20 acquisitions per thread, checker
       wrapped): [Error] carries the violation. [oracles] additionally
       enables the {!Numa_check.Oracle} cohort-handoff-legality and FIFO
       checks appropriate to the case's lock; they consume the trace
       stream, so they engage only when [RT.deterministic] (no-op on the
-      native runtime). Default [false]. *)
+      native runtime). Default [false]. [topology] overrides the
+      generated flat machine (the [--topology] CLI flag); cases with more
+      threads than it has contexts run oversubscribed. *)
 
-  val run_abortable_case : tcase -> (unit, string) result
+  val run_abortable_case :
+    ?topology:Numa_base.Topology.t -> tcase -> (unit, string) result
   (** Run one abortable case (the lock is picked from the abortable
       line-up by the case seed), including a post-abort-storm health
       check. *)
 
   val campaign :
-    ?oracles:bool -> log:(string -> unit) -> rounds:int -> seed:int ->
+    ?oracles:bool -> ?topology:Numa_base.Topology.t ->
+    log:(string -> unit) -> rounds:int -> seed:int ->
     unit -> int
   (** [campaign ~log ~rounds ~seed ()] runs [rounds] x (one random plain
       case + one random abortable case) and returns the number of
-      failures, reporting each through [log]. [oracles] as in
-      {!run_case}. *)
+      failures, reporting each through [log]. [oracles] and [topology]
+      as in {!run_case}. *)
 end

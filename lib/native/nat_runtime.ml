@@ -23,16 +23,14 @@ let now = Nat_mem.now
 
 let run ~topology ~n_threads ?stop_after ?profile:_ body =
   if n_threads < 1 then invalid_arg "Nat_runtime.run: n_threads < 1";
-  if n_threads > Topology.total_threads topology then
-    invalid_arg
-      (Printf.sprintf "Nat_runtime.run: %d threads exceed topology capacity %d"
-         n_threads
-         (Topology.total_threads topology));
   let stop = Nat_mem.cell' false in
   let failure = Atomic.make None in
   let t0 = now () in
   let domains =
     List.init n_threads (fun tid ->
+        (* Oversubscribed tids wrap onto hardware contexts; each Domain
+           still runs a distinct logical thread, only the declared
+           placement repeats. *)
         let cluster = Topology.cluster_of_thread topology tid in
         Domain.spawn (fun () ->
             Nat_mem.set_identity ~tid ~cluster;
@@ -61,6 +59,7 @@ let run ~topology ~n_threads ?stop_after ?profile:_ body =
         threads_finished = n_threads;
         coherence = None;
         interconnect = None;
+        interconnect_levels = None;
         sim_events = None;
         sites = None;
       }

@@ -8,6 +8,13 @@
     inherit its sleep-escalation backoff (domains here usually outnumber
     cores). An exception escaping any body stops the run and is re-raised
     as {!Numa_base.Runtime_intf.Thread_failure} after all domains have
-    been joined. *)
+    been joined.
+
+    Oversubscription: [n_threads] beyond the topology's hardware contexts
+    is accepted — surplus tids wrap via [Topology.context_of_thread] and
+    declare the wrapped context's cluster. One [Domain] is still spawned
+    per logical thread (the OS multiplexes them), so keep native
+    oversubscription modest; thousands-of-threads sweeps belong on the
+    simulated runtime. *)
 
 include Numa_base.Runtime_intf.RUNTIME

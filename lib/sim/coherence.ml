@@ -1,3 +1,5 @@
+module Tp = Numa_base.Topology
+
 type kind = Read | Write | Rmw
 
 (* Per-site attribution row (see profiler below). Mutable so the hot
@@ -39,6 +41,7 @@ type stats = {
   mutable invalidations : int;
   mutable remote_txns : int;
   mutable waiter_scans : int;
+  mutable last_xlevel : int;
 }
 
 type profiler = (string, site_stats) Hashtbl.t
@@ -68,6 +71,7 @@ let fresh_stats () =
     invalidations = 0;
     remote_txns = 0;
     waiter_scans = 0;
+    last_xlevel = 0;
   }
 
 let make_profiler () : profiler = Hashtbl.create 64
@@ -136,6 +140,44 @@ let popcount n = (* sharer masks are tiny; a loop is fine off the default path *
   let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
   go n 0
 
+(* Which copy services a cross-domain transaction. A read fetches from
+   the nearest sharer (cheapest crossing level); an invalidating write
+   is bounded by the round trip to the furthest victim. Ties break on
+   the lowest domain index. On a single-level machine every pair costs
+   the same flat [remote_transfer], so both reduce to the historical
+   model. Pure lookups — no state is touched. *)
+let nearest_sharer topo ~from mask =
+  let best = ref (-1) and best_cost = ref max_int in
+  let m = ref mask and d = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then begin
+      let c = Tp.xfer_cost topo from !d in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := !d
+      end
+    end;
+    m := !m lsr 1;
+    incr d
+  done;
+  !best
+
+let furthest_sharer topo ~from mask =
+  let best = ref (-1) and best_cost = ref min_int in
+  let m = ref mask and d = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then begin
+      let c = Tp.xfer_cost topo from !d in
+      if c > !best_cost then begin
+        best_cost := c;
+        best := !d
+      end
+    end;
+    m := !m lsr 1;
+    incr d
+  done;
+  !best
+
 (* A cross-cluster transfer occupies the line: later transfers queue
    behind it. Returns the total latency including queueing. *)
 let transfer line ~now ~cost =
@@ -170,8 +212,9 @@ let p_memory row l =
       r.sp_memory_misses <- r.sp_memory_misses + 1;
       r.sp_stall_memory_ns <- r.sp_stall_memory_ns + l
 
-let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
-    ~thread kind =
+let access ?prof st (topo : Tp.t) line ~now ~epoch ~domain ~thread kind =
+  let lat = topo.Tp.latency in
+  let cluster = domain in
   if line.epoch <> epoch then begin
     line.epoch <- epoch;
     line.owner <- -1;
@@ -218,22 +261,29 @@ let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
             lat.local_hit
           end
         else if line.owner >= 0 then begin
-          (* Modified in a remote cluster: cache-to-cache transfer,
-             demoting the owner to Shared. *)
+          (* Modified in a remote domain: cache-to-cache transfer,
+             demoting the owner to Shared. The cost depends on how far
+             the owner is — read it before the transition clears
+             [owner]. *)
           st.coherence_misses <- st.coherence_misses + 1;
           st.remote_txns <- st.remote_txns + 1;
+          st.last_xlevel <- Tp.cross_level topo cluster line.owner;
+          let cost = Tp.xfer_cost topo cluster line.owner in
           line.sharers <- bit line.owner lor bit cluster;
           line.owner <- -1;
-          let l = transfer line ~now ~cost:lat.remote_transfer in
+          let l = transfer line ~now ~cost in
           p_remote row l;
           l
         end
         else if line.sharers <> 0 then begin
-          (* Shared remotely only: fetch from a sharer. *)
+          (* Shared remotely only: fetch from the nearest sharer. *)
           st.coherence_misses <- st.coherence_misses + 1;
           st.remote_txns <- st.remote_txns + 1;
+          let src = nearest_sharer topo ~from:cluster line.sharers in
+          st.last_xlevel <- Tp.cross_level topo cluster src;
+          let cost = Tp.xfer_cost topo cluster src in
           line.sharers <- line.sharers lor bit cluster;
-          let l = transfer line ~now ~cost:lat.remote_transfer in
+          let l = transfer line ~now ~cost in
           p_remote row l;
           l
         end
@@ -267,11 +317,15 @@ let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
             lat.upgrade_local
           end
           else if line.sharers land bit cluster <> 0 then begin
-            (* We share it but so do remote clusters: invalidate them. *)
+            (* We share it but so do remote domains: invalidate them.
+               The round trip is bounded by the furthest victim. *)
             st.invalidations <- st.invalidations + 1;
             st.remote_txns <- st.remote_txns + 1;
-            let victims = popcount (line.sharers land lnot (bit cluster)) in
-            let l = transfer line ~now ~cost:lat.remote_transfer in
+            let vmask = line.sharers land lnot (bit cluster) in
+            let victims = popcount vmask in
+            let far = furthest_sharer topo ~from:cluster vmask in
+            st.last_xlevel <- Tp.cross_level topo cluster far;
+            let l = transfer line ~now ~cost:(Tp.xfer_cost topo cluster far) in
             p_remote ~transfer:false ~inval_sent:1 ~inval_received:victims row
               l;
             l
@@ -281,7 +335,10 @@ let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
                invalidated by the ownership transfer. *)
             st.coherence_misses <- st.coherence_misses + 1;
             st.remote_txns <- st.remote_txns + 1;
-            let l = transfer line ~now ~cost:lat.remote_transfer in
+            st.last_xlevel <- Tp.cross_level topo cluster line.owner;
+            let l =
+              transfer line ~now ~cost:(Tp.xfer_cost topo cluster line.owner)
+            in
             p_remote ~inval_received:1 row l;
             l
           end
@@ -290,7 +347,9 @@ let access ?prof st (lat : Numa_base.Latency.t) line ~now ~epoch ~cluster
             st.invalidations <- st.invalidations + 1;
             st.remote_txns <- st.remote_txns + 1;
             let victims = popcount line.sharers in
-            let l = transfer line ~now ~cost:lat.remote_transfer in
+            let far = furthest_sharer topo ~from:cluster line.sharers in
+            st.last_xlevel <- Tp.cross_level topo cluster far;
+            let l = transfer line ~now ~cost:(Tp.xfer_cost topo cluster far) in
             p_remote ~inval_sent:1 ~inval_received:victims row l;
             l
           end

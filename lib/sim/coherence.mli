@@ -74,6 +74,11 @@ type stats = {
       (** writes that found parked waiters and scanned the line's wait
           queue. Writes to waiterless lines do not count here — and do
           no lookup and no allocation at all (pinned by test_sim). *)
+  mutable last_xlevel : int;
+      (** crossing level of the most recent remote transaction —
+          engine-internal plumbing so the interconnect can charge the
+          right level's channel pool. Always [0] on a single-level
+          machine. Not part of the exported snapshot. *)
 }
 
 type profiler
@@ -92,19 +97,25 @@ val export : stats -> Numa_trace.Profile.coherence
 val access :
   ?prof:profiler ->
   stats ->
-  Numa_base.Latency.t ->
+  Numa_base.Topology.t ->
   line ->
   now:int ->
   epoch:int ->
-  cluster:int ->
+  domain:int ->
   thread:int ->
   kind ->
   int
-(** [access stats lat line ~now ~epoch ~cluster ~thread kind] performs the
-    state transition for [kind] by [thread] on [cluster] at time [now] and
-    returns the total latency (including any queueing on a busy line).
-    [epoch] identifies the simulation run; a line first touched in a new
-    epoch starts Invalid. With [?prof] the access is additionally
+(** [access stats topo line ~now ~epoch ~domain ~thread kind] performs the
+    state transition for [kind] by [thread] on leaf domain [domain] at
+    time [now] and returns the total latency (including any queueing on a
+    busy line). Cross-domain costs come from [topo]'s distance matrix: a
+    read fetches from the nearest sharer, an invalidating write pays the
+    round trip to the furthest victim, and [stats.last_xlevel] records the
+    crossing level so the engine can charge the matching interconnect
+    pool. On a single-level machine every pair costs the flat
+    [remote_transfer] and the model is byte-identical to the historical
+    one. [epoch] identifies the simulation run; a line first touched in a
+    new epoch starts Invalid. With [?prof] the access is additionally
     attributed to the line's site row (found once per line per epoch,
     then cached on [line.prow]); latencies and state transitions are
     byte-identical with and without it. *)

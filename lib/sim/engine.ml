@@ -26,6 +26,7 @@ type result = {
   events : int;
   threads_finished : int;
   icx : Numa_trace.Profile.interconnect;
+  icx_levels : Numa_trace.Profile.interconnect_level list;
   sites : Numa_trace.Profile.site list option;
 }
 
@@ -182,21 +183,27 @@ let schedule eng ~tid ~cls ~line time thunk =
       ex.ex_seq <- ex.ex_seq + 1
 
 (* Charge a memory access: coherence latency plus interconnect queueing
-   when the transaction crossed clusters. Attribution (profiler rows,
-   coherence trace events) reads counters and mutates stats only, so the
-   charged latency — and hence the schedule — is independent of both. *)
-let access eng ~cluster ~thread line kind =
+   when the transaction crossed domains. The coherence model reports the
+   crossing level of a remote transaction in [last_xlevel]; the matching
+   channel pool is charged (always pool 0 on flat machines). Attribution
+   (profiler rows, coherence trace events) reads counters and mutates
+   stats only, so the charged latency — and hence the schedule — is
+   independent of both. *)
+let access eng ~dom ~cluster ~thread line kind =
   let st = eng.cstats in
   let misses0 = st.Coherence.coherence_misses in
   let inval0 = st.Coherence.invalidations in
   let remote0 = st.Coherence.remote_txns in
   let lat =
-    Coherence.access ?prof:eng.prof st eng.topo.latency line ~now:eng.now
-      ~epoch:eng.epoch ~cluster ~thread kind
+    Coherence.access ?prof:eng.prof st eng.topo line ~now:eng.now
+      ~epoch:eng.epoch ~domain:dom ~thread kind
   in
   let total =
     if st.Coherence.remote_txns > remote0 then begin
-      let q = Interconnect.acquire eng.icx ~now:eng.now in
+      let q =
+        Interconnect.acquire eng.icx ~level:st.Coherence.last_xlevel
+          ~now:eng.now
+      in
       (if q > 0 then
          match line.Coherence.prow with
          | Some r ->
@@ -244,7 +251,10 @@ let add_waiter eng line w =
   end;
   Waitq.push q w
 
-let handler eng ~tid ~cluster =
+(* [dom] is the thread's leaf domain (drives coherence distances);
+   [cluster] its cohort cluster (what locks and trace events see). On
+   every flat preset the two coincide. *)
+let handler eng ~tid ~dom ~cluster =
   {
     retc = (fun () -> eng.live <- eng.live - 1);
     exnc =
@@ -260,7 +270,9 @@ let handler eng ~tid ~cluster =
         | Op o ->
             Some
               (fun (k : (b, unit) continuation) ->
-                let lat = access eng ~cluster ~thread:tid o.o_line o.o_kind in
+                let lat =
+                  access eng ~dom ~cluster ~thread:tid o.o_line o.o_kind
+                in
                 let cls =
                   match o.o_kind with
                   | Coherence.Read -> Op_read
@@ -304,7 +316,7 @@ let handler eng ~tid ~cluster =
                               if untimed then eng.blocked <- eng.blocked - 1;
                               cur := None;
                               let lat =
-                                access eng ~cluster ~thread:tid d.w_line
+                                access eng ~dom ~cluster ~thread:tid d.w_line
                                   Coherence.Read
                               in
                               schedule eng ~tid ~cls:Spin_wake ~line:d.w_line
@@ -337,7 +349,7 @@ let handler eng ~tid ~cluster =
                         continue k None
                       end);
                 let lat =
-                  access eng ~cluster ~thread:tid d.w_line Coherence.Read
+                  access eng ~dom ~cluster ~thread:tid d.w_line Coherence.Read
                 in
                 schedule eng ~tid ~cls:Spin_check ~line:d.w_line
                   (eng.now + lat) attempt)
@@ -386,6 +398,7 @@ let mk_result eng ~n_threads =
     events = eng.events;
     threads_finished = n_threads - eng.live;
     icx = Interconnect.export eng.icx;
+    icx_levels = Interconnect.export_levels eng.icx;
     sites = Option.map Coherence.sites eng.prof;
   }
 
@@ -439,11 +452,6 @@ let run_heap eng heap ~n_threads ~horizon =
 let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
     ?(trace = Numa_trace.Sink.noop) body =
   if n_threads < 1 then invalid_arg "Engine.run: n_threads < 1";
-  if n_threads > Topology.total_threads topology then
-    invalid_arg
-      (Printf.sprintf "Engine.run: %d threads exceed topology capacity %d"
-         n_threads
-         (Topology.total_threads topology));
   let mode =
     match policy with
     | None -> Heap (Event_heap.create ~dummy:nop)
@@ -464,7 +472,7 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
       mode;
       now = 0;
       cstats = Coherence.fresh_stats ();
-      icx = Interconnect.create topology.latency;
+      icx = Interconnect.create topology;
       wlines = [];
       live = n_threads;
       blocked = 0;
@@ -475,10 +483,17 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
     }
   in
   for tid = 0 to n_threads - 1 do
+    (* Oversubscription: logical threads beyond the machine's contexts
+       wrap onto hardware contexts, so both placements below are taken
+       through [context_of_thread]. *)
+    let dom = Topology.domain_of_thread topology tid in
     let cluster = Topology.cluster_of_thread topology tid in
     (* 1 ns stagger breaks the t=0 symmetry deterministically. *)
     schedule eng ~tid ~cls:Start ~line:no_line tid (fun () ->
-        match_with (fun () -> body ~tid ~cluster) () (handler eng ~tid ~cluster))
+        match_with
+          (fun () -> body ~tid ~cluster)
+          ()
+          (handler eng ~tid ~dom ~cluster))
   done;
   Fun.protect
     ~finally:(fun () ->

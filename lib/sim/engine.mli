@@ -19,7 +19,11 @@ type result = {
   events : int;  (** total events processed. *)
   threads_finished : int;
   icx : Numa_trace.Profile.interconnect;
-      (** interconnect occupancy/queueing statistics for the run. *)
+      (** interconnect occupancy/queueing statistics for the run,
+          aggregated over every level. *)
+  icx_levels : Numa_trace.Profile.interconnect_level list;
+      (** per-level interconnect statistics, outermost level first; a
+          single row on flat machines. *)
   sites : Numa_trace.Profile.site list option;
       (** per-site attribution table; [Some] iff run with [~profile:true]. *)
 }
@@ -87,6 +91,13 @@ val run :
     topology's placement. Thread starts are staggered by 1 ns per tid to
     break symmetry deterministically.
 
+    [n_threads] may exceed the machine's hardware contexts
+    ([Topology.total_threads]): the surplus logical threads wrap onto
+    contexts via [Topology.context_of_thread] (oversubscription), sharing
+    their context's domain and cluster. The simulation is still
+    deterministic — fibers are cooperative, so wrapping changes placement
+    only, not the event machinery.
+
     [horizon] is a hard stop: events after it are discarded and the run
     returns with [threads_finished < n_threads] instead of raising. Use it
     only as a backstop in tests. It applies to the default heap schedule
@@ -106,7 +117,7 @@ val run :
     tracing: it fires per remote transaction and would flood a lock-event
     rollup ring.
 
-    @raise Invalid_argument if [n_threads] exceeds the topology capacity. *)
+    @raise Invalid_argument if [n_threads < 1]. *)
 
 (**/**)
 

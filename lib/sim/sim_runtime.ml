@@ -40,6 +40,7 @@ let run ~topology ~n_threads ?stop_after ?(profile = false) body =
     threads_finished = r.Engine.threads_finished;
     coherence = Some (Coherence.export r.Engine.coherence);
     interconnect = Some r.Engine.icx;
+    interconnect_levels = Some r.Engine.icx_levels;
     sim_events = Some r.Engine.events;
     sites = r.Engine.sites;
   }

@@ -16,6 +16,14 @@ type interconnect = {
   peak_queue : int;
 }
 
+type interconnect_level = {
+  lvl_name : string;
+  lvl_txns : int;
+  lvl_queue_ns : int;
+  lvl_busy_ns : int;
+  lvl_peak_queue : int;
+}
+
 type site = {
   site : string;
   s_accesses : int;
@@ -36,6 +44,7 @@ type t = {
   sites : site list;
   totals : coherence;
   icx : interconnect;
+  icx_levels : interconnect_level list;
 }
 
 let site_stall s =
@@ -86,6 +95,21 @@ let to_fields ?acquires ?releases t =
     ("icx_busy_ns", float_of_int i.busy_ns);
     ("icx_peak_queue", float_of_int i.peak_queue);
   ]
+  (* Per-level fields only on multi-level machines, so single-level
+     (t5440/small) artifacts are byte-identical to the flat model. *)
+  @
+  if List.length t.icx_levels <= 1 then []
+  else
+    List.concat_map
+      (fun l ->
+        let f suffix v = ("icx_" ^ l.lvl_name ^ "_" ^ suffix, float_of_int v) in
+        [
+          f "txns" l.lvl_txns;
+          f "queue_ns" l.lvl_queue_ns;
+          f "busy_ns" l.lvl_busy_ns;
+          f "peak_queue" l.lvl_peak_queue;
+        ])
+      t.icx_levels
 
 let site_to_json (s : site) =
   Json.Obj
@@ -108,29 +132,46 @@ let site_to_json (s : site) =
 let to_json t =
   let c = t.totals and i = t.icx in
   Json.Obj
-    [
-      ( "coherence",
-        Json.Obj
-          [
-            ("accesses", Json.Int c.accesses);
-            ("l1_hits", Json.Int c.l1_hits);
-            ("local_hits", Json.Int c.local_hits);
-            ("coherence_misses", Json.Int c.coherence_misses);
-            ("memory_misses", Json.Int c.memory_misses);
-            ("invalidations", Json.Int c.invalidations);
-            ("remote_txns", Json.Int c.remote_txns);
-            ("waiter_scans", Json.Int c.waiter_scans);
-          ] );
-      ( "interconnect",
-        Json.Obj
-          [
-            ("txns", Json.Int i.txns);
-            ("queue_ns", Json.Int i.queue_ns);
-            ("busy_ns", Json.Int i.busy_ns);
-            ("peak_queue", Json.Int i.peak_queue);
-          ] );
-      ("sites", Json.List (List.map site_to_json t.sites));
-    ]
+    ([
+       ( "coherence",
+         Json.Obj
+           [
+             ("accesses", Json.Int c.accesses);
+             ("l1_hits", Json.Int c.l1_hits);
+             ("local_hits", Json.Int c.local_hits);
+             ("coherence_misses", Json.Int c.coherence_misses);
+             ("memory_misses", Json.Int c.memory_misses);
+             ("invalidations", Json.Int c.invalidations);
+             ("remote_txns", Json.Int c.remote_txns);
+             ("waiter_scans", Json.Int c.waiter_scans);
+           ] );
+       ( "interconnect",
+         Json.Obj
+           [
+             ("txns", Json.Int i.txns);
+             ("queue_ns", Json.Int i.queue_ns);
+             ("busy_ns", Json.Int i.busy_ns);
+             ("peak_queue", Json.Int i.peak_queue);
+           ] );
+     ]
+    @ (if List.length t.icx_levels <= 1 then []
+       else
+         [
+           ( "interconnect_levels",
+             Json.List
+               (List.map
+                  (fun l ->
+                    Json.Obj
+                      [
+                        ("level", Json.String l.lvl_name);
+                        ("txns", Json.Int l.lvl_txns);
+                        ("queue_ns", Json.Int l.lvl_queue_ns);
+                        ("busy_ns", Json.Int l.lvl_busy_ns);
+                        ("peak_queue", Json.Int l.lvl_peak_queue);
+                      ])
+                  t.icx_levels) );
+         ])
+    @ [ ("sites", Json.List (List.map site_to_json t.sites)) ])
 
 (* Sites with the most remote traffic first: the attribution question is
    "which line is migrating", so rank by transfers + invalidations, then
@@ -159,6 +200,19 @@ let pp ppf t =
     "stall ns: local %d | remote %d | memory %d | interconnect %d (queue %d, \
      peak depth %d)@\n"
     l r m ic i.queue_ns i.peak_queue;
+  (* Multi-level machines get a per-level rollup line; single-level
+     output stays byte-identical to the flat model. *)
+  if List.length t.icx_levels > 1 then begin
+    Format.fprintf ppf "interconnect levels:";
+    List.iteri
+      (fun idx lv ->
+        Format.fprintf ppf "%s %s txns %d queue %d busy %d peak %d"
+          (if idx = 0 then "" else " |")
+          lv.lvl_name lv.lvl_txns lv.lvl_queue_ns lv.lvl_busy_ns
+          lv.lvl_peak_queue)
+      t.icx_levels;
+    Format.fprintf ppf "@\n"
+  end;
   Format.fprintf ppf "  %-24s %10s %8s %8s %8s %6s %6s %12s@\n" "site" "accesses"
     "l1" "local" "xfer" "inv>" "inv<" "stall ns";
   List.iter

@@ -33,6 +33,18 @@ type interconnect = {
       (** max number of already-busy channels observed at any
           acquisition — the high-water mark of channel contention. *)
 }
+(** Aggregate over every level of the machine; on a single-level
+    (flat) topology this is the whole story. *)
+
+type interconnect_level = {
+  lvl_name : string;  (** the topology level's name (e.g. ["socket"]). *)
+  lvl_txns : int;
+  lvl_queue_ns : int;
+  lvl_busy_ns : int;
+  lvl_peak_queue : int;
+}
+(** Per-level slice of the aggregate {!interconnect} stats: one row per
+    topology level, outermost first. *)
 
 type site = {
   site : string;  (** the line's [?name] label; [""] if unlabelled. *)
@@ -59,6 +71,9 @@ type t = {
           the run was not profiled per-site. *)
   totals : coherence;
   icx : interconnect;
+  icx_levels : interconnect_level list;
+      (** per-level interconnect rollups, outermost level first; empty
+          when the substrate cannot attribute (native runs). *)
 }
 
 val site_stall : site -> int
@@ -80,7 +95,10 @@ val invalidations_per_release : t -> releases:int -> float
 
 val to_fields : ?acquires:int -> ?releases:int -> t -> (string * float) list
 (** Flat [coh_*] / [icx_*] metrics for the cohort-bench/2 artifact.
-    Ratio fields are [nan] unless the corresponding count is given. *)
+    Ratio fields are [nan] unless the corresponding count is given.
+    Multi-level profiles additionally emit [icx_<level>_*] fields;
+    single-level ones do not, keeping flat-machine artifacts
+    byte-identical to the historical schema. *)
 
 val to_json : t -> Json.t
 
@@ -89,4 +107,5 @@ val ranked_sites : t -> site list
     then total stall, then name — deterministic. *)
 
 val pp : Format.formatter -> t -> unit
-(** Two summary lines plus the ranked per-site table. *)
+(** Two summary lines plus the ranked per-site table; multi-level
+    profiles insert a per-level interconnect rollup line between. *)

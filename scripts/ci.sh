@@ -8,7 +8,9 @@
 #   1. tier-1: warning-clean build of everything + all test suites
 #   2. fixed-seed torture smoke (50 random schedules, seed 42)
 #   3. explorer smoke: exhaustive schedule exploration of C-BO-MCS must
-#      be clean, and the skip-limit mutant must be caught
+#      be clean, and the skip-limit mutant must be caught; repeated on
+#      the hierarchical rack preset (soundness leg only — the mutant leg
+#      always runs on the default machine, where threads are co-located)
 #   4. engine host-throughput smoke (enginebench --smoke): NON-gating on
 #      the numbers — host wall-clock is noisy — it only has to run; the
 #      figures land in the log for eyeballing trends
@@ -27,6 +29,10 @@
 #      BENCH_*.json (>10% throughput drop on any entry fails; when both
 #      artifacts are cohort-bench/2 it also prints informational
 #      coherence-rollup deltas)
+#   9. rack determinism: a small fig2 run on the rack preset twice with
+#      the same seed, byte-comparing the artifacts — the multi-level
+#      coherence/interconnect path must be as deterministic as the flat
+#      one
 #
 # When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
 # and tests already ran as alias dependencies, and the executables are
@@ -64,6 +70,9 @@ torture 50 42
 echo "== ci: explorer smoke (exhaustive C-BO-MCS + skip-limit mutant)"
 explore --quick
 
+echo "== ci: explorer smoke on the rack preset"
+explore --quick --topology rack
+
 echo "== ci: engine host-throughput smoke (informational, non-gating)"
 enginebench --smoke
 
@@ -81,6 +90,18 @@ if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
   echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
   echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
   echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
+  exit 1
+fi
+echo "   artifacts byte-identical"
+
+echo "== ci: rack-preset determinism (same-seed fig2 byte diff)"
+repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
+  --emit-bench-json "$tmp/RACK_a.json" >/dev/null
+repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
+  --emit-bench-json "$tmp/RACK_b.json" >/dev/null
+if ! cmp "$tmp/RACK_a.json" "$tmp/RACK_b.json"; then
+  echo "ci: FAIL — same-seed rack-preset artifacts differ; the multi-level" >&2
+  echo "coherence/interconnect path is nondeterministic." >&2
   exit 1
 fi
 echo "   artifacts byte-identical"

@@ -35,14 +35,19 @@ let test_topology_validation () =
   Alcotest.check_raises "clusters<1"
     (Invalid_argument "Topology.make: clusters < 1") (fun () ->
       ignore (Topology.make ~clusters:0 ~threads_per_cluster:4 Latency.t5440));
+  (* Oversubscription: tids beyond the machine's contexts wrap instead
+     of raising (small = 2x4 contexts, so tid 100 lands on context 4). *)
   let t = Topology.small in
+  Alcotest.(check int) "tid wraps onto context"
+    (Topology.cluster_of_thread t 4)
+    (Topology.cluster_of_thread t 100);
   let raised =
     try
-      ignore (Topology.cluster_of_thread t 100);
+      ignore (Topology.cluster_of_thread t (-1));
       false
     with Invalid_argument _ -> true
   in
-  Alcotest.(check bool) "tid out of range" true raised
+  Alcotest.(check bool) "negative tid rejected" true raised
 
 let test_prng_deterministic () =
   let a = Prng.create 42 and b = Prng.create 42 in

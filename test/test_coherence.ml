@@ -8,10 +8,14 @@ open Numa_base
 
 let lat = Latency.t5440
 
+(* The single-level reference machine: every cross-domain pair costs the
+   flat [remote_transfer], exactly the historical model. *)
+let topo = Topology.t5440
+
 let fresh () = (C.make_line (), C.fresh_stats ())
 
 let access ?(now = 0) ?(epoch = 1) st line ~cluster ~thread kind =
-  C.access st lat line ~now ~epoch ~cluster ~thread kind
+  C.access st topo line ~now ~epoch ~domain:cluster ~thread kind
 
 (* --- read transitions ----------------------------------------------------- *)
 
@@ -138,41 +142,80 @@ let test_access_total_counted () =
 (* --- interconnect ------------------------------------------------------- *)
 
 let test_interconnect_free_channel_no_delay () =
-  let i = I.create lat in
-  Alcotest.(check int) "first txn free" 0 (I.acquire i ~now:100)
+  let i = I.create topo in
+  Alcotest.(check int) "first txn free" 0 (I.acquire i ~level:0 ~now:100)
 
 let test_interconnect_queues_when_saturated () =
-  let i = I.create lat in
+  let i = I.create topo in
   let ch = lat.Latency.interconnect_channels in
   (* Fill every channel at t=0; the next acquisition must wait. *)
   for _ = 1 to ch do
-    ignore (I.acquire i ~now:0)
+    ignore (I.acquire i ~level:0 ~now:0)
   done;
-  let d = I.acquire i ~now:0 in
+  let d = I.acquire i ~level:0 ~now:0 in
   Alcotest.(check int) "queued behind occupancy"
     lat.Latency.interconnect_occupancy d
 
 let test_interconnect_drains () =
-  let i = I.create lat in
+  let i = I.create topo in
   for _ = 1 to 10 do
-    ignore (I.acquire i ~now:0)
+    ignore (I.acquire i ~level:0 ~now:0)
   done;
   (* Far in the future all channels are free again. *)
-  Alcotest.(check int) "drained" 0 (I.acquire i ~now:1_000_000)
+  Alcotest.(check int) "drained" 0 (I.acquire i ~level:0 ~now:1_000_000)
 
 let test_interconnect_reset () =
-  let i = I.create lat in
+  let i = I.create topo in
   for _ = 1 to 10 do
-    ignore (I.acquire i ~now:0)
+    ignore (I.acquire i ~level:0 ~now:0)
   done;
   I.reset i;
-  Alcotest.(check int) "reset clears queue" 0 (I.acquire i ~now:0)
+  Alcotest.(check int) "reset clears queue" 0 (I.acquire i ~level:0 ~now:0)
 
 let test_interconnect_zero_occupancy () =
-  let i = I.create Latency.uniform in
+  let i =
+    I.create (Topology.make ~clusters:4 ~threads_per_cluster:4 Latency.uniform)
+  in
   for _ = 1 to 100 do
-    Alcotest.(check int) "uma never queues" 0 (I.acquire i ~now:0)
+    Alcotest.(check int) "uma never queues" 0 (I.acquire i ~level:0 ~now:0)
   done
+
+(* Multi-level distances: on the rack preset a socket-mate transfer costs
+   the inner tier, a rack-mate the outer tier, and invalidation pays the
+   round trip to the furthest victim. *)
+let test_hier_read_costs_by_level () =
+  let tr = Topology.rack in
+  let inner = tr.Topology.xfer.(0 * tr.Topology.domains + 1) in
+  let outer = tr.Topology.xfer.(0 * tr.Topology.domains + 2) in
+  Alcotest.(check bool) "tiers differ" true (inner < outer);
+  let line, st = fresh () in
+  ignore (C.access st tr line ~now:0 ~epoch:1 ~domain:0 ~thread:0 C.Write);
+  let l1 =
+    C.access st tr line ~now:10_000 ~epoch:1 ~domain:1 ~thread:1 C.Read
+  in
+  Alcotest.(check int) "socket-mate pays inner tier" inner l1;
+  Alcotest.(check int) "crossing level inner" 1 st.C.last_xlevel;
+  (* domain 2 is in the other rack: nearest sharer is 0 or 1, both at the
+     outer tier. *)
+  let l2 =
+    C.access st tr line ~now:20_000 ~epoch:1 ~domain:2 ~thread:2 C.Read
+  in
+  Alcotest.(check int) "cross-rack pays outer tier" outer l2;
+  Alcotest.(check int) "crossing level outer" 0 st.C.last_xlevel
+
+let test_hier_invalidate_pays_furthest () =
+  let tr = Topology.rack in
+  let outer = tr.Topology.xfer.(0 * tr.Topology.domains + 2) in
+  let line, st = fresh () in
+  (* Sharers in both racks; a write from domain 0 must reach domain 2. *)
+  ignore (C.access st tr line ~now:0 ~epoch:1 ~domain:0 ~thread:0 C.Read);
+  ignore (C.access st tr line ~now:10_000 ~epoch:1 ~domain:1 ~thread:1 C.Read);
+  ignore (C.access st tr line ~now:20_000 ~epoch:1 ~domain:2 ~thread:2 C.Read);
+  let l =
+    C.access st tr line ~now:30_000 ~epoch:1 ~domain:0 ~thread:0 C.Write
+  in
+  Alcotest.(check int) "round trip to furthest victim" outer l;
+  Alcotest.(check int) "crossing level outer" 0 st.C.last_xlevel
 
 (* Properties: latency is always one of the model's constants (plus
    queueing), and counters never decrease. *)
@@ -235,6 +278,13 @@ let suite =
         Alcotest.test_case "drains" `Quick test_interconnect_drains;
         Alcotest.test_case "reset" `Quick test_interconnect_reset;
         Alcotest.test_case "uma" `Quick test_interconnect_zero_occupancy;
+      ] );
+    ( "hierarchy",
+      [
+        Alcotest.test_case "read costs by level" `Quick
+          test_hier_read_costs_by_level;
+        Alcotest.test_case "invalidate pays furthest" `Quick
+          test_hier_invalidate_pays_furthest;
       ] );
   ]
 

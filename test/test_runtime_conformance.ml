@@ -117,6 +117,27 @@ struct
     Alcotest.(check int)
       "no thread crossed before all arrived" 0 (Atomic.get stragglers)
 
+  (* More logical threads than the machine has contexts: the runtime
+     wraps them (tid mod contexts) instead of refusing, and every fiber
+     still runs to completion on the cluster its context dictates. *)
+  let test_oversubscribed () =
+    let total = Topology.total_threads topo4 in
+    let n = total + 8 in
+    let declared = Array.make n (-1) in
+    let stats =
+      RT.run ~topology:topo4 ~n_threads:n (fun ~stop:_ ~tid ~cluster ->
+          declared.(tid) <- cluster;
+          M.pause P.tick)
+    in
+    Alcotest.(check int)
+      "all logical threads finished" n stats.Runtime_intf.threads_finished;
+    for tid = 0 to n - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "tid %d wrapped onto its context's cluster" tid)
+        (Topology.cluster_of_thread topo4 tid)
+        declared.(tid)
+    done
+
   let test_checker_violation_raised () =
     let module CL = Harness.Check_lock.Make (M) in
     let (module L) = CL.wrap (module Broken) in
@@ -147,6 +168,7 @@ struct
       Alcotest.test_case "stop flag: deadline" speed test_stop_after;
       Alcotest.test_case "stop flag: manual request" speed test_manual_stop;
       Alcotest.test_case "barrier" speed test_barrier;
+      Alcotest.test_case "oversubscribed run" speed test_oversubscribed;
       Alcotest.test_case "checker violation raised" speed
         test_checker_violation_raised;
     ]

@@ -385,8 +385,21 @@ let test_engine_rejects_bad_thread_counts () =
     with Invalid_argument _ -> true
   in
   Alcotest.(check bool) "zero threads" true (reject 0);
-  Alcotest.(check bool) "too many threads" true
-    (reject (Numa_base.Topology.total_threads topo + 1))
+  Alcotest.(check bool) "negative threads" true (reject (-3));
+  (* Beyond-capacity counts oversubscribe: surplus tids wrap onto
+     contexts and the run completes normally. *)
+  let over = Numa_base.Topology.total_threads topo + 1 in
+  let r =
+    E.run ~topology:topo ~n_threads:over (fun ~tid:_ ~cluster:_ -> M.pause 10)
+  in
+  Alcotest.(check int) "oversubscribed run completes" over r.E.threads_finished;
+  (* tid [total] shares context 0's cluster. *)
+  let clusters = Array.make over (-1) in
+  ignore
+    (E.run ~topology:topo ~n_threads:over (fun ~tid ~cluster ->
+         clusters.(tid) <- cluster));
+  Alcotest.(check int) "wrapped cluster" clusters.(0)
+    clusters.(Numa_base.Topology.total_threads topo)
 
 let test_events_counted () =
   let r =

@@ -1,0 +1,227 @@
+(* Property suite for the hierarchical Topology model. The closed-form
+   placement arithmetic (threads_on_cluster, cluster_of_thread) and the
+   precomputed transfer/crossing-level matrices feed both the coherence
+   model and every lock's cluster assignment, so each is checked here
+   against an independent reference: a counting loop for placement, a
+   mixed-radix digit walk for the level structure, and the historical
+   flat constructor for the single-level case. *)
+
+open Numa_base
+module T = Topology
+
+(* A random machine, described by data simple enough to print on
+   failure: level arities (outermost first, product <= 27 domains),
+   contexts per domain, a cohort level, and a placement policy (explicit
+   maps are derived deterministically from the seed). *)
+type spec = {
+  s_arities : int list;
+  s_tpd : int;
+  s_cohort : int;
+  s_placement : int;  (* 0 = Round_robin, 1 = Packed, 2+ = Explicit *)
+  s_seed : int;
+}
+
+let domains_of s = List.fold_left ( * ) 1 s.s_arities
+
+let build s =
+  let levels =
+    List.mapi
+      (fun i a ->
+        (* Transfers shrink inward, as on a real machine; channel counts
+           and occupancies vary so pool wiring is exercised too. *)
+        T.level
+          ~name:(Printf.sprintf "l%d" i)
+          ~arity:a
+          ~transfer:(400 - (100 * i))
+          ~channels:(1 + (i mod 3))
+          ~occupancy:(10 * i) ())
+      s.s_arities
+  in
+  let domains = domains_of s in
+  let placement =
+    match s.s_placement with
+    | 0 -> T.Round_robin
+    | 1 -> T.Packed
+    | _ ->
+        let rng = Prng.create s.s_seed in
+        T.Explicit
+          (Array.init (domains * s.s_tpd) (fun _ -> Prng.int rng domains))
+  in
+  T.make_hier ~name:"qc" ~placement ~cohort_level:s.s_cohort ~levels
+    ~threads_per_domain:s.s_tpd Latency.t5440
+
+let gen_spec =
+  QCheck.Gen.(
+    let* depth = 1 -- 3 in
+    let* s_arities = list_repeat depth (1 -- 3) in
+    let* s_tpd = 1 -- 8 in
+    let* s_cohort = 0 -- (depth - 1) in
+    let* s_placement = 0 -- 2 in
+    let* s_seed = 0 -- 10_000 in
+    return { s_arities; s_tpd; s_cohort; s_placement; s_seed })
+
+let print_spec s =
+  Printf.sprintf "arities=[%s] tpd=%d cohort=%d placement=%d seed=%d"
+    (String.concat ";" (List.map string_of_int s.s_arities))
+    s.s_tpd s.s_cohort s.s_placement s.s_seed
+
+let arb_spec = QCheck.make ~print:print_spec gen_spec
+let arb_spec_n = QCheck.(pair arb_spec (make ~print:string_of_int Gen.(0 -- 80)))
+
+(* --- placement --------------------------------------------------------- *)
+
+(* threads_on_cluster is a partition of the first min(n, contexts)
+   thread ids: the per-cluster counts must sum back to that total. *)
+let prop_partition =
+  QCheck.Test.make ~name:"threads_on_cluster partitions the thread ids"
+    ~count:500 arb_spec_n (fun (s, n) ->
+      let t = build s in
+      let sum = ref 0 in
+      for c = 0 to t.T.clusters - 1 do
+        sum := !sum + T.threads_on_cluster t ~n_threads:n c
+      done;
+      !sum = min n (T.total_threads t))
+
+(* The closed forms for Round_robin/Packed must agree with the obvious
+   counting loop over cluster_of_thread (which is also the loop still
+   used for explicit maps). *)
+let prop_closed_form =
+  QCheck.Test.make ~name:"threads_on_cluster = counting loop" ~count:500
+    arb_spec_n (fun (s, n) ->
+      let t = build s in
+      let upto = min n (T.total_threads t) in
+      let ok = ref true in
+      for c = 0 to t.T.clusters - 1 do
+        let reference = ref 0 in
+        for tid = 0 to upto - 1 do
+          if T.cluster_of_thread t tid = c then incr reference
+        done;
+        if T.threads_on_cluster t ~n_threads:n c <> !reference then ok := false
+      done;
+      !ok)
+
+(* Every thread id — oversubscribed ones included — lands on a cluster
+   in range, and wrapping is exactly modular in the context count. *)
+let prop_cluster_in_range =
+  QCheck.Test.make ~name:"cluster_of_thread in range, wraps modulo contexts"
+    ~count:500 arb_spec (fun s ->
+      let t = build s in
+      let total = T.total_threads t in
+      let ok = ref true in
+      for tid = 0 to (3 * total) - 1 do
+        let c = T.cluster_of_thread t tid in
+        if c < 0 || c >= t.T.clusters then ok := false;
+        if c <> T.cluster_of_thread t (tid mod total) then ok := false;
+        if T.context_of_thread t tid <> tid mod total then ok := false
+      done;
+      !ok)
+
+(* --- level structure --------------------------------------------------- *)
+
+(* Reference crossing level: write each domain in the mixed radix given
+   by the level arities (outermost digit first); the crossing level is
+   the first digit where the two domains differ. *)
+let digits arities d =
+  let rec go acc d = function
+    | [] -> acc
+    | a :: rest -> go (d mod a :: acc) (d / a) rest
+  in
+  (* innermost arity peels off first, so walk the list reversed and
+     accumulate back to outermost-first order. *)
+  go [] d (List.rev arities)
+
+let ref_cross_level arities a b =
+  let rec first i = function
+    | da :: ra, db :: rb -> if da <> db then i else first (i + 1) (ra, rb)
+    | _ -> invalid_arg "ref_cross_level: equal domains"
+  in
+  first 0 (digits arities a, digits arities b)
+
+let prop_matrices =
+  QCheck.Test.make
+    ~name:"xfer/cross_level match the mixed-radix reference" ~count:500
+    arb_spec (fun s ->
+      let t = build s in
+      let ok = ref true in
+      for a = 0 to t.T.domains - 1 do
+        for b = 0 to t.T.domains - 1 do
+          if a = b then begin
+            if T.xfer_cost t a b <> 0 then ok := false
+          end
+          else begin
+            let lvl = ref_cross_level s.s_arities a b in
+            if T.cross_level t a b <> lvl then ok := false;
+            if T.xfer_cost t a b <> t.T.levels.(lvl).T.l_transfer then
+              ok := false;
+            if T.xfer_cost t a b <> T.xfer_cost t b a then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* A single-level hierarchy built through make_hier is the flat machine:
+   same shape, same placement map, and every off-diagonal transfer is
+   the latency preset's remote_transfer — exactly what Topology.make
+   produces. *)
+let prop_flat_equivalence =
+  QCheck.Test.make ~name:"1-level make_hier = flat make" ~count:200
+    QCheck.(pair (make ~print:string_of_int Gen.(1 -- 8))
+              (make ~print:string_of_int Gen.(1 -- 8)))
+    (fun (clusters, tpc) ->
+      let lat = Latency.t5440 in
+      let flat = T.make ~clusters ~threads_per_cluster:tpc lat in
+      let hier =
+        T.make_hier
+          ~levels:
+            [
+              T.level ~name:"socket" ~arity:clusters
+                ~transfer:lat.Latency.remote_transfer
+                ~channels:lat.Latency.interconnect_channels
+                ~occupancy:lat.Latency.interconnect_occupancy ();
+            ]
+          ~threads_per_domain:tpc lat
+      in
+      let ok = ref (flat.T.clusters = hier.T.clusters) in
+      ok := !ok && T.total_threads flat = T.total_threads hier;
+      for tid = 0 to (2 * T.total_threads flat) - 1 do
+        if T.cluster_of_thread flat tid <> T.cluster_of_thread hier tid then
+          ok := false
+      done;
+      for a = 0 to clusters - 1 do
+        for b = 0 to clusters - 1 do
+          if T.xfer_cost flat a b <> T.xfer_cost hier a b then ok := false;
+          if a <> b && T.xfer_cost hier a b <> lat.Latency.remote_transfer
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* The cohort level groups whole subtrees: domains in the same cluster
+   never cross a boundary at or outside the cohort level, and domains in
+   different clusters always do. *)
+let prop_cohort_grouping =
+  QCheck.Test.make ~name:"clusters = subtrees at the cohort level"
+    ~count:500 arb_spec (fun s ->
+      let t = build s in
+      let ok = ref true in
+      for a = 0 to t.T.domains - 1 do
+        for b = 0 to t.T.domains - 1 do
+          if a <> b then begin
+            let same = T.cluster_of_domain t a = T.cluster_of_domain t b in
+            let crosses_cohort = T.cross_level t a b <= t.T.cohort_level in
+            if same = crosses_cohort then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "placement",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_partition; prop_closed_form; prop_cluster_in_range ] );
+      ( "hierarchy",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matrices; prop_flat_equivalence; prop_cohort_grouping ] );
+    ]
