@@ -42,6 +42,8 @@ module NC_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (Nm)
 module NC_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (Nm)
 module NC_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (Nm)
 module NC_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (Nm)
+module NCna = Cohort.Cna_lock.Make (Nm)
+module NPtl = Cohort.Ptl_lock.Make (Nm)
 module NHbo = Baselines.Hbo_lock.Make (Nm)
 module NFcmcs = Baselines.Fc_mcs.Make (Nm)
 module NHclh = Baselines.Hclh_lock.Make (Nm)
@@ -70,6 +72,8 @@ let native_tests =
     native_cycle_test "C-BO-MCS" (module NC_bo_mcs);
     native_cycle_test "C-TKT-MCS" (module NC_tkt_mcs);
     native_cycle_test "C-MCS-MCS" (module NC_mcs_mcs);
+    native_cycle_test "CNA" (module NCna.Plain);
+    native_cycle_test "PTL" (module NPtl.Plain);
   ]
 
 let run_bechamel () =
@@ -193,6 +197,8 @@ let run_sim ~quick ~trace ~emit ~profile =
   X.print_table (X.topology_sensitivity ~n_threads:64 ~duration ~seed ());
   X.print_table
     (X.composition_matrix ~topology ~n_threads:64 ~duration ~seed ());
+  X.print_table
+    (X.successor_comparison ~topology ~n_threads:64 ~duration ~seed ());
   (* Extension: the same LBench curve on the hierarchical rack preset
      (two racks x two sockets, three latency tiers), plus the flat-vs-rack
      head-to-head. Same seed and durations as the main sweep. *)
@@ -216,7 +222,7 @@ let run_sim ~quick ~trace ~emit ~profile =
   let oversub_threads = [ 512; 2048 ] in
   let oversub_locks =
     List.filter
-      (fun e -> List.mem e.R.name [ "MCS"; "C-BO-MCS"; "C-TKT-MCS" ])
+      (fun e -> List.mem e.R.name [ "MCS"; "C-BO-MCS"; "C-TKT-MCS"; "CNA" ])
       R.microbench_locks
   in
   let osweep =

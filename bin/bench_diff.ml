@@ -8,10 +8,17 @@
    (default 10%), which is the check scripts/ci.sh runs against the
    newest committed artifact. Entries or metrics that cannot be compared
    (new locks, removed sweeps, null metrics) print as warnings and do
-   not fail the gate. *)
+   not fail the gate.
+
+   Coverage gate: every benchmarked registry lock (the microbench and
+   abortable line-ups) must have at least one curve in BASELINE — a lock
+   added to the registry without regenerating and committing a
+   BENCH_*.json would otherwise silently dodge the perf trajectory.
+   --allow-missing LOCK (repeatable) stages an intentional gap. *)
 
 open Cmdliner
 module BJ = Harness.Bench_json
+module LR = Harness.Lock_registry
 
 let load what path =
   match BJ.read path with
@@ -72,12 +79,49 @@ let print_coherence_deltas (b : BJ.t) (c : BJ.t) =
     if !shown > 0 then print_newline ()
   end
 
-let run baseline current threshold =
+(* The registry locks the sim sweeps curve on every artifact-emitting
+   run: new registry locks must appear in the committed baseline. The
+   app-only and extra line-ups produce tables, not artifact curves, so
+   they are out of scope. *)
+let check_coverage (b : BJ.t) ~allow_missing ~path =
+  let covered = Hashtbl.create 32 in
+  List.iter
+    (fun (e : BJ.entry) -> Hashtbl.replace covered e.BJ.lock ())
+    b.BJ.entries;
+  let expected =
+    List.map (fun (e : LR.entry) -> e.LR.name) LR.microbench_locks
+    @ List.map (fun (e : LR.abortable_entry) -> e.LR.a_name) LR.abortable_locks
+  in
+  let missing =
+    List.filter (fun name -> not (Hashtbl.mem covered name)) expected
+  in
+  let blocked, staged =
+    List.partition (fun name -> not (List.mem name allow_missing)) missing
+  in
+  List.iter
+    (Printf.printf "note: %s missing from baseline (allowed by \
+                    --allow-missing)\n")
+    staged;
+  if blocked <> [] then begin
+    List.iter
+      (fun name ->
+        Printf.eprintf
+          "COVERAGE: registry lock %s has no curve in baseline %s\n" name path)
+      blocked;
+    Printf.eprintf
+      "bench_diff: regenerate and commit the benchmark artifact (bench quick \
+       --emit-bench-json BENCH_<next>.json), or stage intentionally with \
+       --allow-missing LOCK\n";
+    exit 1
+  end
+
+let run baseline current threshold allow_missing =
   let b = load "baseline" baseline in
   let c = load "current" current in
   if b.BJ.substrate <> c.BJ.substrate then
     Printf.printf "note: comparing %s baseline against %s current\n"
       b.BJ.substrate c.BJ.substrate;
+  check_coverage b ~allow_missing ~path:baseline;
   print_coherence_deltas b c;
   let regressions, warnings =
     BJ.compare_artifacts ~baseline:b ~current:c ~threshold_pct:threshold
@@ -109,9 +153,19 @@ let threshold =
   let doc = "Fail on throughput drops larger than $(docv) percent." in
   Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
 
+let allow_missing =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "allow-missing" ] ~docv:"LOCK"
+        ~doc:
+          "Exempt $(docv) from the baseline coverage gate (repeatable) — for \
+           intentionally staging a new registry lock before its first \
+           committed artifact.")
+
 let cmd =
   let doc = "compare two benchmark artifacts and fail on regressions" in
   Cmd.v (Cmd.info "bench_diff" ~doc)
-    Term.(const run $ baseline $ current $ threshold)
+    Term.(const run $ baseline $ current $ threshold $ allow_missing)
 
 let () = exit (Cmd.eval cmd)

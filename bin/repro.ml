@@ -456,11 +456,36 @@ let hier_cmd =
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
       $ duration_arg $ seed_arg)
 
+let successors_cmd =
+  let run topology n duration seed =
+    banner topology duration seed;
+    X.print_table
+      (X.successor_comparison ~topology ~n_threads:n
+         ~duration:(duration * 1_000_000) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "successors"
+       ~doc:
+         "Paper-vs-successor table: MCS and C-BO-MCS against CNA (compact \
+          NUMA-aware lock) and the partition ticket lock — throughput, \
+          remote transfers per acquisition, and lock-metadata cache-line \
+          footprint.")
+    Term.(
+      const run $ topology_arg
+      $ Arg.(
+          value & opt int 64
+          & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
+      $ duration_arg $ seed_arg)
+
 let profile_cmd =
   (* The paper-claim smoke (ci.sh): C-BO-MCS must move the lock data
      across clusters less often than plain MCS — section 4's explanation
      of the cohort advantage, here measured directly by the attribution
-     profiler instead of inferred from throughput. *)
+     profiler instead of inferred from throughput. The successor claim
+     rides along: CNA gets its cohort-style batching out of a single
+     lock word plus the waiter nodes, so its lock-metadata footprint
+     (distinct cache lines, Profile.lock_lines) must be strictly below
+     C-BO-MCS's global-lock + per-cluster-locks + counters layering. *)
   let run topology lock_names n duration seed check =
     banner topology duration seed;
     let duration = duration * 1_000_000 in
@@ -492,23 +517,31 @@ let profile_cmd =
             ~acquires:r.Harness.Lbench.iterations
       | None -> Float.nan
     in
-    Printf.printf "\nremote transfers per acquisition @ %d threads:\n" n;
+    let lines (r : Harness.Lbench.result) =
+      match r.Harness.Lbench.profile with
+      | Some p -> Numa_trace.Profile.lock_lines p
+      | None -> 0
+    in
+    Printf.printf
+      "\nremote transfers per acquisition / lock-metadata lines @ %d threads:\n"
+      n;
     List.iter
-      (fun (name, r) -> Printf.printf "  %-12s %8.3f\n" name (per_acq r))
+      (fun (name, r) ->
+        Printf.printf "  %-12s %8.3f %6d lines\n" name (per_acq r) (lines r))
       results;
     if check then begin
       let get name =
         match List.assoc_opt name results with
-        | Some r -> per_acq r
+        | Some r -> r
         | None ->
             Printf.eprintf
-              "profile --check: lock %S not in the run (need MCS and \
-               C-BO-MCS)\n\
+              "profile --check: lock %S not in the run (need MCS, C-BO-MCS \
+               and CNA)\n\
                %!"
               name;
             exit 2
       in
-      let mcs = get "MCS" and cohort = get "C-BO-MCS" in
+      let mcs = per_acq (get "MCS") and cohort = per_acq (get "C-BO-MCS") in
       if Float.is_nan mcs || Float.is_nan cohort then begin
         Printf.eprintf "profile --check: no coherence data (native run?)\n%!";
         exit 1
@@ -526,6 +559,27 @@ let profile_cmd =
            %!"
           cohort mcs;
         exit 1
+      end;
+      let cna_lines = lines (get "CNA")
+      and cbm_lines = lines (get "C-BO-MCS") in
+      if cna_lines <= 0 || cbm_lines <= 0 then begin
+        Printf.eprintf
+          "profile --check: no per-site line counts (native run?)\n%!";
+        exit 1
+      end;
+      if cna_lines < cbm_lines then
+        Printf.printf
+          "check OK: CNA touches fewer distinct lock-metadata cache lines \
+           than C-BO-MCS (%d < %d at %d threads)\n\
+           %!"
+          cna_lines cbm_lines n
+      else begin
+        Printf.eprintf
+          "check FAILED: CNA lock-metadata lines (%d) not below C-BO-MCS \
+           (%d)\n\
+           %!"
+          cna_lines cbm_lines;
+        exit 1
       end
     end
   in
@@ -539,9 +593,10 @@ let profile_cmd =
       const run $ topology_arg
       $ Arg.(
           value
-          & pos_all string [ "MCS"; "C-BO-MCS" ]
+          & pos_all string [ "MCS"; "C-BO-MCS"; "CNA"; "PTL" ]
           & info [] ~docv:"LOCK"
-              ~doc:"Registry locks to profile (default: MCS C-BO-MCS).")
+              ~doc:
+                "Registry locks to profile (default: MCS C-BO-MCS CNA PTL).")
       $ Arg.(
           value & opt int 64
           & info [ "n-threads" ] ~docv:"N" ~doc:"Contending threads.")
@@ -551,8 +606,9 @@ let profile_cmd =
           & info [ "check" ]
               ~doc:
                 "Exit non-zero unless C-BO-MCS shows strictly fewer remote \
-                 transfers per acquisition than MCS (the paper-claim gate \
-                 used by scripts/ci.sh)."))
+                 transfers per acquisition than MCS, and CNA touches fewer \
+                 distinct lock-metadata cache lines than C-BO-MCS (the \
+                 paper-claim gate used by scripts/ci.sh)."))
 
 let all_cmd =
   let run topology duration seed csv_dir trace emit =
@@ -588,6 +644,7 @@ let all_cmd =
     X.print_table (X.topology_sensitivity ~n_threads:64 ~duration:d ~seed ());
     X.print_table (X.hierarchy_comparison ~n_threads:64 ~duration:d ~seed ());
     X.print_table (X.composition_matrix ~topology ~n_threads:64 ~duration:d ~seed ());
+    X.print_table (X.successor_comparison ~topology ~n_threads:64 ~duration:d ~seed ());
     finish ();
     emit_artifact emit ~seed [ ("lbench", sweep); ("lbench-abortable", s) ]
   in
@@ -617,6 +674,7 @@ let () =
       ext_rw_cmd;
       ext_bimodal_cmd;
       matrix_cmd;
+      successors_cmd;
       profile_cmd;
       all_cmd;
     ]

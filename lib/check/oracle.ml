@@ -2,17 +2,26 @@ module LI = Cohort.Lock_intf
 module Event = Numa_trace.Event
 module Sink = Numa_trace.Sink
 
-type checks = { me : bool; handoff : bool; fifo : bool }
+type checks = { me : bool; handoff : bool; fifo : bool; fifo_intra : bool }
 
-let me_only = { me = true; handoff = false; fifo = false }
+let me_only = { me = true; handoff = false; fifo = false; fifo_intra = false }
 
-let fifo_locks = [ "TKT"; "MCS"; "CLH" ]
+let fifo_locks = [ "TKT"; "MCS"; "CLH"; "PTL" ]
+
+(* CNA reorders its queue by socket, so global FIFO deliberately does
+   not hold; what its prefix-move preserves is per-socket enqueue order,
+   checked by [fifo_intra]. Its counted flush also honours the cohort
+   starvation bound, so the handoff oracle applies. *)
+let intra_fifo_locks = [ "CNA" ]
 
 let for_lock name =
   {
     me = true;
-    handoff = String.length name >= 2 && String.sub name 0 2 = "C-";
+    handoff =
+      (String.length name >= 2 && String.sub name 0 2 = "C-")
+      || List.mem name intra_fifo_locks;
     fifo = List.mem name fifo_locks;
+    fifo_intra = List.mem name intra_fifo_locks;
   }
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
@@ -23,9 +32,19 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
     acquiring : bool array;  (* tid -> inside acquire *)
     cluster_of : int array;  (* tid -> cluster (registration) *)
     fifo_q : int Queue.t;  (* tids in queue-join order *)
+    intra_q : (int, int Queue.t) Hashtbl.t;
+        (* per-cluster queue-join order, for fifo_intra *)
     mutable run : int;  (* consecutive local handoffs of current batch *)
     limit : int option;  (* may-pass-local bound, when counted *)
   }
+
+  let cluster_queue st c =
+    match Hashtbl.find_opt st.intra_q c with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add st.intra_q c q;
+        q
 
   (* Trace-stream checks. The handler runs at the emission site — host
      code inside the same engine event as the emitting memory operation —
@@ -34,8 +53,28 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
      only meaningful on a deterministic runtime. *)
   let on_event st (ev : Event.t) =
     match ev.kind with
-    | Event.Enqueue -> if st.checks.fifo then Queue.push ev.tid st.fifo_q
+    | Event.Enqueue ->
+        if st.checks.fifo then Queue.push ev.tid st.fifo_q;
+        if st.checks.fifo_intra then
+          Queue.push ev.tid (cluster_queue st ev.cluster)
     | Event.Acquire_global | Event.Acquire_local ->
+        if st.checks.fifo_intra then begin
+          (* Acquisition order within a cluster must match that
+             cluster's queue-join order, even when the lock reorders
+             across clusters (CNA's guarantee). *)
+          match Queue.take_opt (cluster_queue st ev.cluster) with
+          | Some head when head = ev.tid -> ()
+          | Some head ->
+              Violation.fail ~other:head ~lock:st.lock ~invariant:"fifo-intra"
+                ~tid:ev.tid ~at:ev.at
+                (Printf.sprintf
+                   "t%d acquired but t%d of the same cluster %d joined the \
+                    queue first"
+                   ev.tid head ev.cluster)
+          | None ->
+              Violation.fail ~lock:st.lock ~invariant:"fifo-intra" ~tid:ev.tid
+                ~at:ev.at "acquire without a preceding enqueue"
+        end;
         if st.checks.fifo then begin
           (match Queue.take_opt st.fifo_q with
           | Some head when head = ev.tid -> ()
@@ -107,6 +146,7 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
             acquiring = Array.make cfg.LI.max_threads false;
             cluster_of = Array.make cfg.LI.max_threads 0;
             fifo_q = Queue.create ();
+            intra_q = Hashtbl.create 8;
             run = 0;
             limit =
               (match cfg.LI.handoff_policy with
@@ -116,7 +156,7 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           }
         in
         let cfg =
-          if checks.handoff || checks.fifo then
+          if checks.handoff || checks.fifo || checks.fifo_intra then
             {
               cfg with
               LI.trace = Sink.tee (Sink.make (on_event st)) cfg.LI.trace;

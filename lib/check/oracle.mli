@@ -11,7 +11,10 @@
       counted may-pass-local policy at most [max_local_handoffs]
       consecutive local handoffs per batch;
     - {e FIFO}: for pure queue locks, acquires must happen in queue-join
-      ([Enqueue] trace event) order.
+      ([Enqueue] trace event) order;
+    - {e intra-cluster FIFO}: for queue-reordering locks (CNA), acquires
+      within each cluster must happen in that cluster's queue-join order
+      — the guarantee that survives the cross-socket reordering.
 
     The handoff and FIFO checks consume the lock's own trace stream (a
     sink teed into [cfg.trace] at [create]) and assume events arrive in
@@ -19,15 +22,16 @@
     code inside the emitting memory operation's engine event. Enable them
     only on a deterministic runtime; [me] is substrate-safe. *)
 
-type checks = { me : bool; handoff : bool; fifo : bool }
+type checks = { me : bool; handoff : bool; fifo : bool; fifo_intra : bool }
 
 val me_only : checks
 (** Mutual exclusion + usage discipline only: safe everywhere. *)
 
 val for_lock : string -> checks
 (** Checks applicable to a registry lock by name: [handoff] for cohort
-    locks (name starts with ["C-"]), [fifo] for the pure FIFO queue locks
-    (TKT, MCS, CLH), [me] always. *)
+    locks (name starts with ["C-"]) and for CNA (its counted flush obeys
+    the same starvation bound), [fifo] for the strict FIFO queue locks
+    (TKT, MCS, CLH, PTL), [fifo_intra] for CNA, [me] always. *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) : sig
   val wrap :

@@ -1,0 +1,13 @@
+(** Compact NUMA-aware lock (CNA; Dice & Kogan, arXiv 1810.05600): an
+    MCS variant whose releaser reorders the waiter queue by socket,
+    parking skipped remote waiters on a secondary queue that travels
+    with the lock. One word of lock state (the MCS tail) instead of the
+    cohort construction's global lock + per-cluster locks + counters.
+
+    FIFO within a socket only; across sockets a batch is deliberately
+    unfair, bounded by [max_local_handoffs] consecutive local handoffs
+    (a deterministic stand-in for the C version's randomised flush). *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : sig
+  module Plain : Lock_intf.LOCK
+end

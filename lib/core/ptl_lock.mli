@@ -1,0 +1,9 @@
+(** Partition ticket lock (after hisat's [ptl.hpp]): a ticket lock whose
+    grant is spread over one cache line per partition, so a release
+    invalidates only the next holder's spin line instead of every
+    waiter's. Strict global FIFO; pays [max_threads] extra lines of
+    footprint for the contention-free handoff. *)
+
+module Make (_ : Numa_base.Memory_intf.MEMORY) : sig
+  module Plain : Lock_intf.LOCK
+end

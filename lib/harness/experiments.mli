@@ -179,6 +179,19 @@ val extension_bimodal :
 (** The bi-modal (alternating read-heavy / write-heavy) server scenario
     the paper's section 4.2 motivates. *)
 
+val successor_comparison :
+  topology:Numa_base.Topology.t ->
+  n_threads:int ->
+  duration:int ->
+  seed:int ->
+  unit ->
+  table
+(** The first paper-vs-successor table: MCS and C-BO-MCS against CNA
+    (single-word compact NUMA-aware lock) and the partition ticket lock.
+    Columns are throughput, remote transfers per acquisition, and
+    distinct lock-metadata cache lines touched (from a profiled run —
+    stats-only, so schedules match the unprofiled sweeps). *)
+
 val composition_matrix :
   topology:Numa_base.Topology.t ->
   n_threads:int ->

@@ -88,8 +88,12 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
   module Fcmcs = Baselines.Fc_mcs.Make (M)
   module Fibbo = Baselines.Fib_bo.Make (M)
   module Pthread = Baselines.Pthread_like.Make (M)
+  module Cna = Cohort.Cna_lock.Make (M)
+  module Ptl = Cohort.Ptl_lock.Make (M)
 
-  (* The Figure 2-5 line-up, in the paper's legend order. *)
+  (* The Figure 2-5 line-up, in the paper's legend order, followed by
+     the two post-paper successors (CNA, PTL) the repo measures against
+     it. Successors append so the paper columns keep their positions. *)
   let microbench_locks : entry list =
     [
       plain "MCS" (module Mcs.Plain);
@@ -101,6 +105,8 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
       plain "C-BO-MCS" (module C_bo_mcs);
       plain "C-TKT-MCS" (module C_tkt_mcs);
       plain "C-MCS-MCS" (module C_mcs_mcs);
+      plain "CNA" (module Cna.Plain);
+      plain "PTL" (module Ptl.Plain);
     ]
 
   (* The Figure 6 line-up. *)
@@ -127,6 +133,8 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
       plain "C-BO-MCS" (module C_bo_mcs);
       plain "C-TKT-MCS" (module C_tkt_mcs);
       plain "C-MCS-MCS" (module C_mcs_mcs);
+      plain "CNA" (module Cna.Plain);
+      plain "PTL" (module Ptl.Plain);
     ]
 
   let extra_locks : entry list =

@@ -6,6 +6,10 @@ type kind = Read | Write | Rmw
    path bumps fields in place; exported immutably via [sites]. *)
 type site_stats = {
   sp_site : string;
+  mutable sp_lines : int;
+      (* distinct cache lines of this site touched this run: lines
+         attach to a row once per epoch, so the attach point below
+         counts each exactly once. *)
   mutable sp_accesses : int;
   mutable sp_l1_hits : int;
   mutable sp_local_hits : int;
@@ -83,6 +87,7 @@ let site_row (p : profiler) name =
       let r =
         {
           sp_site = name;
+          sp_lines = 0;
           sp_accesses = 0;
           sp_l1_hits = 0;
           sp_local_hits = 0;
@@ -105,6 +110,7 @@ let sites (p : profiler) =
     (fun _ (r : site_stats) acc ->
       {
         Numa_trace.Profile.site = r.sp_site;
+        s_lines = r.sp_lines;
         s_accesses = r.sp_accesses;
         s_l1_hits = r.sp_l1_hits;
         s_local_hits = r.sp_local_hits;
@@ -236,6 +242,7 @@ let access ?prof st (topo : Tp.t) line ~now ~epoch ~domain ~thread kind =
         | None ->
             let r = site_row p line.name in
             line.prow <- Some r;
+            r.sp_lines <- r.sp_lines + 1;
             Some r)
   in
   (match row with

@@ -24,6 +24,9 @@ type kind = Read | Write | Rmw
 
 type site_stats = {
   sp_site : string;  (** the site label this row attributes to. *)
+  mutable sp_lines : int;
+      (** distinct lines of this site touched this run (rows attach to
+          a line once per epoch). *)
   mutable sp_accesses : int;
   mutable sp_l1_hits : int;
   mutable sp_local_hits : int;

@@ -26,6 +26,7 @@ type interconnect_level = {
 
 type site = {
   site : string;
+  s_lines : int;
   s_accesses : int;
   s_l1_hits : int;
   s_local_hits : int;
@@ -71,6 +72,16 @@ let remote_transfers_per_acquire t ~acquires =
 
 let invalidations_per_release t ~releases = per t.totals.invalidations releases
 
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let lock_lines ?(exclude = [ "lbench."; "cs." ]) t =
+  fold_sites
+    (fun a s ->
+      if List.exists (fun p -> has_prefix p s.site) exclude then a
+      else a + s.s_lines)
+    0 t
+
 (* Flat metric fields for the cohort-bench/2 artifact. Totals come from
    the engine-global counters (always meaningful on the simulator);
    per-site rows stay in [t.sites] for reports and are not flattened. *)
@@ -115,6 +126,7 @@ let site_to_json (s : site) =
   Json.Obj
     [
       ("site", Json.String s.site);
+      ("lines", Json.Int s.s_lines);
       ("accesses", Json.Int s.s_accesses);
       ("l1_hits", Json.Int s.s_l1_hits);
       ("local_hits", Json.Int s.s_local_hits);
@@ -213,12 +225,12 @@ let pp ppf t =
       t.icx_levels;
     Format.fprintf ppf "@\n"
   end;
-  Format.fprintf ppf "  %-24s %10s %8s %8s %8s %6s %6s %12s@\n" "site" "accesses"
-    "l1" "local" "xfer" "inv>" "inv<" "stall ns";
+  Format.fprintf ppf "  %-24s %6s %10s %8s %8s %8s %6s %6s %12s@\n" "site"
+    "lines" "accesses" "l1" "local" "xfer" "inv>" "inv<" "stall ns";
   List.iter
     (fun s ->
-      Format.fprintf ppf "  %-24s %10d %8d %8d %8d %6d %6d %12d@\n"
+      Format.fprintf ppf "  %-24s %6d %10d %8d %8d %8d %6d %6d %12d@\n"
         (if s.site = "" then "(unnamed)" else s.site)
-        s.s_accesses s.s_l1_hits s.s_local_hits s.s_remote_transfers
+        s.s_lines s.s_accesses s.s_l1_hits s.s_local_hits s.s_remote_transfers
         s.s_inval_sent s.s_inval_received (site_stall s))
     (ranked_sites t)

@@ -48,6 +48,10 @@ type interconnect_level = {
 
 type site = {
   site : string;  (** the line's [?name] label; [""] if unlabelled. *)
+  s_lines : int;
+      (** distinct cache lines of this site touched during the run —
+          the site's memory footprint in lines (e.g. one per queue node
+          for ["mcs.node"], one per partition for ["ptl.slot"]). *)
   s_accesses : int;
   s_l1_hits : int;
   s_local_hits : int;  (** cluster-local hits and silent upgrades. *)
@@ -92,6 +96,13 @@ val remote_transfers_per_acquire : t -> acquires:int -> float
     central "lock migration" cost; [nan] if [acquires <= 0]. *)
 
 val invalidations_per_release : t -> releases:int -> float
+
+val lock_lines : ?exclude:string list -> t -> int
+(** Sum of [s_lines] over sites whose label does not start with any of
+    the [exclude] prefixes (default [["lbench."; "cs."]], the harness
+    workload sites): the lock's own metadata footprint in distinct
+    cache lines. The successor paper-claim gate compares CNA against
+    C-BO-MCS on this. 0 when the run was not profiled per-site. *)
 
 val to_fields : ?acquires:int -> ?releases:int -> t -> (string * float) list
 (** Flat [coh_*] / [icx_*] metrics for the cohort-bench/2 artifact.

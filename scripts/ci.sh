@@ -1,44 +1,74 @@
 #!/usr/bin/env bash
 # Local CI gate — the single pre-PR entry point (see README "CI").
 #
-#   scripts/ci.sh            # from the repo root, or
-#   dune build @ci           # same pipeline, with build/test as alias deps
+#   scripts/ci.sh                 # full pipeline, from the repo root
+#   scripts/ci.sh --stage NAME    # run one stage (repeatable)
+#   dune build @ci                # same pipeline, build/test as alias deps
 #
-# Steps, failing on the first nonzero exit:
-#   1. tier-1: warning-clean build of everything + all test suites
-#   2. fixed-seed torture smoke (50 random schedules, seed 42)
-#   3. explorer smoke: exhaustive schedule exploration of C-BO-MCS must
-#      be clean, and the skip-limit mutant must be caught; repeated on
-#      the hierarchical rack preset (soundness leg only — the mutant leg
-#      always runs on the default machine, where threads are co-located)
-#   4. engine host-throughput smoke (enginebench --smoke): NON-gating on
-#      the numbers — host wall-clock is noisy — it only has to run; the
-#      figures land in the log for eyeballing trends
-#   5. paper-claim smoke: the coherence attribution profiler must show
-#      C-BO-MCS with strictly fewer remote cache-to-cache transfers per
-#      acquisition than plain MCS (repro profile --check)
-#   6. quick sim benchmark, emitting a cohort-bench JSON artifact
-#   7. determinism guard: re-run the same seed, byte-compare artifacts.
-#      The first run adds --profile (attribution report on stdout), the
-#      second does not: profiling is stats-only, so the same-seed
-#      artifacts must still be byte-identical. Only the freshly emitted
-#      BENCH artifacts participate; committed HOSTPERF_*.json files
-#      measure host wall-clock and are never byte-compared (the
-#      regression gate globs BENCH_*.json only)
-#   8. regression gate: bench_diff against the newest committed
-#      BENCH_*.json (>10% throughput drop on any entry fails; when both
-#      artifacts are cohort-bench/2 it also prints informational
-#      coherence-rollup deltas)
-#   9. rack determinism: a small fig2 run on the rack preset twice with
-#      the same seed, byte-comparing the artifacts — the multi-level
-#      coherence/interconnect path must be as deterministic as the flat
-#      one
+# The pipeline is a sequence of named stages, run in order and failing
+# fast on the first nonzero exit. A summary table (stage, status, wall
+# seconds) prints at the end of every run, pass or fail:
+#
+#   check        warning-clean build of everything (dune build @check)
+#   runtest      all test suites (dune runtest --force)
+#   torture      fixed-seed torture smoke (50 random schedules, seed 42)
+#   explore      explorer smoke: exhaustive C-BO-MCS clean + skip-limit
+#                mutant caught; repeated on the hierarchical rack preset
+#                (soundness leg only — the mutant leg always runs on the
+#                default machine, where threads are co-located)
+#   enginebench  engine host-throughput smoke: NON-gating on the numbers
+#                (host wall-clock is noisy) — it only has to run; the
+#                figures land in the log for eyeballing trends
+#   paper-claim  coherence attribution gates (repro profile --check):
+#                C-BO-MCS must move strictly fewer remote transfers per
+#                acquisition than MCS (the paper claim), and CNA must
+#                touch fewer distinct lock-metadata cache lines than
+#                C-BO-MCS (the successor claim)
+#   determinism  quick sim benchmark emitting BENCH_head.json, then the
+#                same seed re-run WITHOUT --profile byte-compared against
+#                the first run WITH it (profiling is stats-only, so the
+#                artifacts must be identical); plus a same-seed fig2
+#                byte-diff on the rack preset (the multi-level path must
+#                be as deterministic as the flat one). Only freshly
+#                emitted BENCH artifacts participate; HOSTPERF_*.json is
+#                host wall-clock and never byte-compared.
+#   bench-diff   regression gate: bench_diff of BENCH_head.json against
+#                the newest committed BENCH_*.json (>10% throughput drop
+#                on any entry fails; every registry lock must have a
+#                curve in the baseline — --allow-missing stages a gap);
+#                re-generates BENCH_head.json itself when run alone
 #
 # When dune runs this script (the @ci alias), INSIDE_DUNE is set: build
-# and tests already ran as alias dependencies, and the executables are
-# invoked directly from the build context instead of through `dune exec`
-# (dune holds the build lock, so nested dune invocations would hang).
+# and tests already ran as alias dependencies (the check/runtest stages
+# report "pass (alias dep)"), and the executables are invoked directly
+# from the build context instead of through `dune exec` (dune holds the
+# build lock, so nested dune invocations would hang).
 set -euo pipefail
+
+STAGES=(check runtest torture explore enginebench paper-claim determinism bench-diff)
+
+usage() {
+  echo "usage: scripts/ci.sh [--stage NAME]..."
+  echo "stages (in order): ${STAGES[*]}"
+}
+
+only_stages=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stage)
+      [[ $# -ge 2 ]] || { usage >&2; exit 2; }
+      only_stages+=("$2"); shift 2 ;;
+    --stage=*) only_stages+=("${1#--stage=}"); shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "ci: unknown argument '$1'" >&2; usage >&2; exit 2 ;;
+  esac
+done
+for s in ${only_stages[@]+"${only_stages[@]}"}; do
+  case " ${STAGES[*]} " in
+    *" $s "*) ;;
+    *) echo "ci: unknown stage '$s'" >&2; usage >&2; exit 2 ;;
+  esac
+done
 
 if [[ -n "${INSIDE_DUNE:-}" ]]; then
   torture() { bin/torture.exe "$@"; }
@@ -49,10 +79,6 @@ if [[ -n "${INSIDE_DUNE:-}" ]]; then
   bench_diff() { bin/bench_diff.exe "$@"; }
 else
   cd "$(dirname "$0")/.."
-  echo "== ci: dune build @check"
-  dune build @check
-  echo "== ci: dune runtest --force"
-  dune runtest --force
   torture() { dune exec --no-build bin/torture.exe -- "$@"; }
   explore() { dune exec --no-build bin/explore.exe -- "$@"; }
   enginebench() { dune exec --no-build bin/enginebench.exe -- "$@"; }
@@ -61,57 +87,177 @@ else
   bench_diff() { dune exec --no-build bin/bench_diff.exe -- "$@"; }
 fi
 
+# --- stage bookkeeping ----------------------------------------------------
+# Stage bodies run at top level (never inside a condition) so `set -e`
+# keeps its fail-fast meaning inside them; the EXIT trap marks whichever
+# stage was open as FAIL and always prints the summary table.
+
+declare -A stage_status stage_secs
+current_stage=""
+stage_t0=0
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 
-echo "== ci: torture smoke (50 schedules, seed 42)"
-torture 50 42
+want() {
+  [[ ${#only_stages[@]} -eq 0 ]] && return 0
+  local s
+  for s in "${only_stages[@]}"; do [[ $s == "$1" ]] && return 0; done
+  return 1
+}
 
-echo "== ci: explorer smoke (exhaustive C-BO-MCS + skip-limit mutant)"
-explore --quick
+begin() {
+  current_stage=$1
+  stage_t0=$SECONDS
+  echo "== ci: stage $1"
+}
 
-echo "== ci: explorer smoke on the rack preset"
-explore --quick --topology rack
+end() {
+  stage_status[$current_stage]=${1:-pass}
+  stage_secs[$current_stage]=$((SECONDS - stage_t0))
+  current_stage=""
+}
 
-echo "== ci: engine host-throughput smoke (informational, non-gating)"
-enginebench --smoke
+skip() { stage_status[$1]=$2; }
 
-echo "== ci: paper-claim smoke (C-BO-MCS fewer remote transfers/acq than MCS)"
-repro profile --check --duration-ms 2 >"$tmp/profile.log"
-tail -n 1 "$tmp/profile.log"
+on_exit() {
+  local rc=$?
+  if [[ -n $current_stage ]]; then
+    stage_status[$current_stage]=FAIL
+    stage_secs[$current_stage]=$((SECONDS - stage_t0))
+  fi
+  echo
+  echo "== ci: stage summary"
+  printf '   %-12s %-20s %6s\n' "stage" "status" "wall"
+  local s
+  for s in "${STAGES[@]}"; do
+    printf '   %-12s %-20s %6s\n' "$s" "${stage_status[$s]:-not run}" \
+      "${stage_secs[$s]:+${stage_secs[$s]}s}"
+  done
+  if [[ $rc -eq 0 ]]; then echo "== ci: OK"; else echo "== ci: FAIL" >&2; fi
+  rm -rf "$tmp"
+  exit "$rc"
+}
+trap on_exit EXIT
 
-echo "== ci: quick sim benchmark -> BENCH_head.json (with --profile)"
-bench quick --profile --emit-bench-json "$tmp/BENCH_head.json" >"$tmp/bench1.log"
-tail -n 3 "$tmp/bench1.log"
+# --- check / runtest ------------------------------------------------------
 
-echo "== ci: determinism guard (same-seed re-run without --profile, byte diff)"
-bench quick --emit-bench-json "$tmp/BENCH_head2.json" >"$tmp/bench2.log"
-if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
-  echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
-  echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
-  echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
-  exit 1
-fi
-echo "   artifacts byte-identical"
-
-echo "== ci: rack-preset determinism (same-seed fig2 byte diff)"
-repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
-  --emit-bench-json "$tmp/RACK_a.json" >/dev/null
-repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
-  --emit-bench-json "$tmp/RACK_b.json" >/dev/null
-if ! cmp "$tmp/RACK_a.json" "$tmp/RACK_b.json"; then
-  echo "ci: FAIL — same-seed rack-preset artifacts differ; the multi-level" >&2
-  echo "coherence/interconnect path is nondeterministic." >&2
-  exit 1
-fi
-echo "   artifacts byte-identical"
-
-baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
-if [[ -n "$baseline" ]]; then
-  echo "== ci: regression gate vs committed $baseline"
-  bench_diff "$baseline" "$tmp/BENCH_head.json"
+if [[ -n "${INSIDE_DUNE:-}" ]]; then
+  skip check "pass (alias dep)"
+  skip runtest "pass (alias dep)"
 else
-  echo "== ci: no committed BENCH_*.json yet; skipping regression gate"
+  if want check; then
+    begin check
+    dune build @check
+    end
+  else
+    skip check "skipped (--stage)"
+    # Later stages exec prebuilt binaries; make sure they exist.
+    dune build @check
+  fi
+
+  if want runtest; then
+    begin runtest
+    dune runtest --force
+    end
+  else
+    skip runtest "skipped (--stage)"
+  fi
 fi
 
-echo "== ci: OK"
+# --- torture --------------------------------------------------------------
+
+if want torture; then
+  begin torture
+  torture 50 42
+  end
+else
+  skip torture "skipped (--stage)"
+fi
+
+# --- explore --------------------------------------------------------------
+
+if want explore; then
+  begin explore
+  explore --quick
+  explore --quick --topology rack
+  end
+else
+  skip explore "skipped (--stage)"
+fi
+
+# --- enginebench ----------------------------------------------------------
+
+if want enginebench; then
+  begin enginebench
+  enginebench --smoke
+  end "pass (non-gating)"
+else
+  skip enginebench "skipped (--stage)"
+fi
+
+# --- paper-claim ----------------------------------------------------------
+
+if want paper-claim; then
+  begin paper-claim
+  repro profile --check --duration-ms 2 >"$tmp/profile.log"
+  tail -n 2 "$tmp/profile.log"
+  end
+else
+  skip paper-claim "skipped (--stage)"
+fi
+
+# --- determinism ----------------------------------------------------------
+
+emit_bench_head() {
+  echo "   quick sim benchmark -> BENCH_head.json (with --profile)"
+  bench quick --profile --emit-bench-json "$tmp/BENCH_head.json" \
+    >"$tmp/bench1.log"
+  tail -n 3 "$tmp/bench1.log"
+}
+
+if want determinism; then
+  begin determinism
+  emit_bench_head
+  echo "   same-seed re-run without --profile, byte diff"
+  bench quick --emit-bench-json "$tmp/BENCH_head2.json" >"$tmp/bench2.log"
+  if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
+    echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
+    echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
+    echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
+    exit 1
+  fi
+  echo "   artifacts byte-identical"
+  echo "   rack-preset determinism (same-seed fig2 byte diff)"
+  repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
+    --emit-bench-json "$tmp/RACK_a.json" >/dev/null
+  repro fig2 --topology rack --threads 1,8,64 --duration-ms 2 \
+    --emit-bench-json "$tmp/RACK_b.json" >/dev/null
+  if ! cmp "$tmp/RACK_a.json" "$tmp/RACK_b.json"; then
+    echo "ci: FAIL — same-seed rack-preset artifacts differ; the multi-level" >&2
+    echo "coherence/interconnect path is nondeterministic." >&2
+    exit 1
+  fi
+  echo "   artifacts byte-identical"
+  end
+else
+  skip determinism "skipped (--stage)"
+fi
+
+# --- bench-diff -----------------------------------------------------------
+
+if want bench-diff; then
+  begin bench-diff
+  # Self-contained under --stage bench-diff: emit the head artifact if
+  # the determinism stage didn't already.
+  [[ -f "$tmp/BENCH_head.json" ]] || emit_bench_head
+  baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+  if [[ -n "$baseline" ]]; then
+    echo "   regression gate vs committed $baseline"
+    bench_diff "$baseline" "$tmp/BENCH_head.json"
+    end
+  else
+    echo "   no committed BENCH_*.json yet; skipping regression gate"
+    end "pass (no baseline)"
+  fi
+else
+  skip bench-diff "skipped (--stage)"
+fi

@@ -41,6 +41,21 @@ let cbomcs_deep () =
   | Some (_, v) -> Alcotest.failf "C-BO-MCS: %s" (V.to_string v));
   Alcotest.(check int) "schedule count (golden)" 4314 r.E.schedules
 
+(* The two successor locks get the same treatment: exhaustively clean at
+   the full 2-preemption bound (under their scoped oracles — CNA's
+   intra-cluster FIFO + handoff limit, PTL's global FIFO), with the
+   schedule counts pinned. *)
+let successor_deep name ~schedules () =
+  let sc = E.scenario (Option.get (R.find name)).R.lock in
+  let r = E.exhaustive ~preemptions:2 ~budget:10_000 sc in
+  Alcotest.(check bool) "exhausted" true r.E.exhausted;
+  (match r.E.failure with
+  | None -> ()
+  | Some (trace, v) ->
+      Alcotest.failf "%s: trace %s: %s" name (D.to_string trace)
+        (V.to_string v));
+  Alcotest.(check int) "schedule count (golden)" schedules r.E.schedules
+
 (* --- Pruning: sound (same verdicts) and effective (fewer schedules) ----- *)
 
 (* The commuting-deviation reduction must preserve the deep pin's clean
@@ -56,6 +71,16 @@ let cbomcs_deep_pruned () =
   | Some (_, v) -> Alcotest.failf "C-BO-MCS pruned: %s" (V.to_string v));
   Alcotest.(check int) "pruned schedule count (golden)" 1398 r.E.schedules;
   Alcotest.(check int) "deviations pruned (golden)" 1334 r.E.pruned
+
+let successor_deep_pruned name ~schedules ~pruned () =
+  let sc = E.scenario (Option.get (R.find name)).R.lock in
+  let r = E.exhaustive ~preemptions:2 ~budget:10_000 ~prune:true sc in
+  Alcotest.(check bool) "exhausted" true r.E.exhausted;
+  (match r.E.failure with
+  | None -> ()
+  | Some (_, v) -> Alcotest.failf "%s pruned: %s" name (V.to_string v));
+  Alcotest.(check int) "pruned schedule count (golden)" schedules r.E.schedules;
+  Alcotest.(check int) "deviations pruned (golden)" pruned r.E.pruned
 
 let registry_clean_pruned (e : R.entry) () =
   let sc = E.scenario e.R.lock in
@@ -171,10 +196,20 @@ let () =
             Alcotest.test_case e.R.name `Quick (registry_clean e))
           R.all_locks );
       ( "deep",
-        [ Alcotest.test_case "C-BO-MCS preemptions=2" `Quick cbomcs_deep ] );
+        [
+          Alcotest.test_case "C-BO-MCS preemptions=2" `Quick cbomcs_deep;
+          Alcotest.test_case "CNA preemptions=2" `Quick
+            (successor_deep "CNA" ~schedules:3954);
+          Alcotest.test_case "PTL preemptions=2" `Quick
+            (successor_deep "PTL" ~schedules:1185);
+        ] );
       ( "pruning",
         Alcotest.test_case "C-BO-MCS preemptions=2 (pruned)" `Quick
           cbomcs_deep_pruned
+        :: Alcotest.test_case "CNA preemptions=2 (pruned)" `Quick
+             (successor_deep_pruned "CNA" ~schedules:1621 ~pruned:968)
+        :: Alcotest.test_case "PTL preemptions=2 (pruned)" `Quick
+             (successor_deep_pruned "PTL" ~schedules:449 ~pruned:355)
         :: List.map
              (fun (e : R.entry) ->
                Alcotest.test_case (e.R.name ^ " (pruned)") `Quick

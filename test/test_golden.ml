@@ -31,6 +31,8 @@ let golden =
     ("C-BO-MCS", 3455, 263);
     ("C-TKT-MCS", 4221, 457);
     ("C-MCS-MCS", 4156, 449);
+    ("CNA", 2137, 133);
+    ("PTL", 1567, 1195);
   ]
 
 let golden_test (name, iters, migs) () =

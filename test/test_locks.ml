@@ -19,6 +19,8 @@ module C_tkt_tkt = Cohort.Cohort_locks.C_tkt_tkt (M)
 module C_bo_mcs = Cohort.Cohort_locks.C_bo_mcs (M)
 module C_tkt_mcs = Cohort.Cohort_locks.C_tkt_mcs (M)
 module C_mcs_mcs = Cohort.Cohort_locks.C_mcs_mcs (M)
+module Cna = Cohort.Cna_lock.Make (M)
+module Ptl = Cohort.Ptl_lock.Make (M)
 module Aclh = Cohort.Aclh_lock.Make (M)
 module A_c_bo_bo = Cohort.A_c_bo_bo.Make (M)
 module A_c_bo_clh = Cohort.A_c_bo_clh.Make (M)
@@ -70,6 +72,8 @@ let all_locks : (string * (module LI.LOCK)) list =
     ("C-BO-MCS", (module C_bo_mcs));
     ("C-TKT-MCS", (module C_tkt_mcs));
     ("C-MCS-MCS", (module C_mcs_mcs));
+    ("CNA", (module Cna.Plain));
+    ("PTL", (module Ptl.Plain));
   ]
 
 (* --- single-thread reacquisition -------------------------------------- *)
@@ -168,6 +172,59 @@ let test_fair_lock_balances () =
   (* Ticket lock: per-thread iteration counts are all equal by FIFO. *)
   let _, _, counts = exercise (module Tkt.Plain) ~n_threads:8 ~iters:40 in
   Array.iter (fun c -> Alcotest.(check int) "equal share" 40 c) counts
+
+(* --- successor locks ----------------------------------------------------- *)
+
+let test_cna_batches () =
+  (* CNA reorders the MCS queue to hand off within the socket: under the
+     same contention it must migrate far less than plain MCS. *)
+  let migs_cna, acqs = migrations (module Cna.Plain) ~max_local_handoffs:64 in
+  let migs_mcs, _ = migrations (module Mcs.Plain) ~max_local_handoffs:64 in
+  Alcotest.(check int) "acquisitions" 400 acqs;
+  Alcotest.(check bool)
+    (Printf.sprintf "CNA migrates less (%d < %d)" migs_cna migs_mcs)
+    true
+    (migs_cna < migs_mcs / 2)
+
+let test_cna_flush_bound_forces_migration () =
+  (* The counted flush (stand-in for the C version's 1/256 coin) must
+     actually fire: a tiny budget migrates much more than a huge one. *)
+  let migs_small, _ = migrations (module Cna.Plain) ~max_local_handoffs:2 in
+  let migs_large, _ = migrations (module Cna.Plain) ~max_local_handoffs:1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "budget 2 migrates more (%d > %d)" migs_small migs_large)
+    true (migs_small > migs_large)
+
+let test_ptl_balances () =
+  (* PTL is strict global FIFO (ticket semantics over partitioned slots):
+     per-thread counts come out exactly equal. *)
+  let _, _, counts = exercise (module Ptl.Plain) ~n_threads:8 ~iters:40 in
+  Array.iter (fun c -> Alcotest.(check int) "equal share" 40 c) counts
+
+let test_ptl_more_threads_than_slots () =
+  (* Slot reuse: 8 threads over a 4-slot array (t mod n wraps) must stay
+     safe and complete. *)
+  let cfg = { cfg with LI.max_threads = 4 } in
+  let l = Ptl.Plain.create cfg in
+  let in_cs = ref 0 in
+  let violations = ref 0 in
+  let total = ref 0 in
+  ignore
+    (E.run ~topology:topo ~n_threads:8 (fun ~tid ~cluster ->
+         let th = Ptl.Plain.register l ~tid ~cluster in
+         for _ = 1 to 30 do
+           Ptl.Plain.acquire th;
+           incr in_cs;
+           if !in_cs <> 1 then incr violations;
+           M.pause 80;
+           if !in_cs <> 1 then incr violations;
+           incr total;
+           decr in_cs;
+           Ptl.Plain.release th;
+           M.pause 120
+         done));
+  Alcotest.(check int) "no ME violations with slot wrap" 0 !violations;
+  Alcotest.(check int) "all iterations" (8 * 30) !total
 
 (* --- abortable locks ----------------------------------------------------- *)
 
@@ -339,6 +396,15 @@ let suite =
         Alcotest.test_case "handoff bound" `Quick
           test_handoff_bound_forces_migration;
         Alcotest.test_case "ticket fairness" `Quick test_fair_lock_balances;
+      ] );
+    ( "successor_behaviour",
+      [
+        Alcotest.test_case "CNA batches locally" `Quick test_cna_batches;
+        Alcotest.test_case "CNA flush bound" `Quick
+          test_cna_flush_bound_forces_migration;
+        Alcotest.test_case "PTL fairness" `Quick test_ptl_balances;
+        Alcotest.test_case "PTL slot wrap" `Quick
+          test_ptl_more_threads_than_slots;
       ] );
     ( "abortable_me",
       List.map

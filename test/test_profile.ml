@@ -88,6 +88,12 @@ let test_site_attribution () =
       "prof.priv acc=3 l1=2 loc=0 xfer=0 mem=1 is=0 ir=0 rtx=0";
     ]
     (List.map render sites);
+  (* Each site allocated exactly one cell, so the distinct-line counter
+     reads 1 — the footprint metric `repro profile --check` gates on. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) (s.P.site ^ " one distinct line") 1 s.P.s_lines)
+    sites;
   (* Stall attribution: every access stalls somewhere; remote stall only
      where transfers happened. *)
   List.iter
@@ -207,6 +213,28 @@ let test_cohort_beats_mcs_on_transfers () =
     true
     (cohort < mcs)
 
+(* The successor claim (CNA paper, section 1): CNA delivers NUMA-aware
+   handoff from a single extra word per lock, where a cohort lock pays
+   for a whole second lock layer. Measured as distinct lock-metadata
+   cache lines touched under the same workload — the second gate
+   `repro profile --check` runs. *)
+let test_cna_smaller_footprint_than_cohort () =
+  let lines name =
+    let e = Option.get (LR.find name) in
+    let cfg = { LI.default with LI.clusters = 4; max_threads = 256 } in
+    let r =
+      LB.run ~name:e.LR.name e.LR.lock ~topology:Topology.t5440
+        ~cfg:(e.LR.tweak cfg) ~n_threads:32 ~duration:500_000 ~seed:2024
+        ~profile:true
+    in
+    P.lock_lines (Option.get r.LB.profile)
+  in
+  let cna = lines "CNA" and cbm = lines "C-BO-MCS" in
+  Alcotest.(check bool) "CNA footprint measured" true (cna > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "CNA (%d) < C-BO-MCS (%d) lock-metadata lines" cna cbm)
+    true (cna < cbm)
+
 let suite =
   [
     ( "attribution",
@@ -224,6 +252,8 @@ let suite =
       [
         Alcotest.test_case "C-BO-MCS < MCS remote transfers/acq" `Quick
           test_cohort_beats_mcs_on_transfers;
+        Alcotest.test_case "CNA < C-BO-MCS lock-metadata lines" `Quick
+          test_cna_smaller_footprint_than_cohort;
       ] );
   ]
 
