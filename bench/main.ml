@@ -238,6 +238,20 @@ let run_sim ~quick ~trace ~emit ~profile =
        T5440's 256 contexts, pairs / s)"
     ~x_label:"threads" ~columns:osweep.X.columns
     ~rows:(X.throughput_rows osweep) ~fmt:Harness.Report.fmt_si ();
+  (* Extension: saturation collapse (the GCR concurrency-restriction
+     story). Thread counts far past capacity under the explicit
+     preemption model; the expensive extreme rows live in bin/repro.exe
+     collapse — here a short sweep keeps every collapse lock on the
+     perf trajectory (bench_diff's coverage gate reads these curves). *)
+  let collapse_threads = if quick then [ 64; 1024 ] else [ 64; 1024; 4096 ] in
+  let csweep =
+    X.collapse_sweep
+      ~locks:(List.map (R.with_trace sink) R.collapse_locks)
+      ~topology ~threads:collapse_threads
+      ~duration:(if quick then 500_000 else 1_000_000)
+      ~seed ()
+  in
+  X.print_collapse ~topology csweep;
   finish_trace ();
   (match trace with
   | Some path -> Printf.printf "Wrote lock-event trace to %s\n%!" path
@@ -250,6 +264,7 @@ let run_sim ~quick ~trace ~emit ~profile =
         @ sweep_entries ~experiment:"lbench-abortable" asweep
         @ sweep_entries ~experiment:"lbench-rack" rsweep
         @ sweep_entries ~experiment:"lbench-oversub" osweep
+        @ sweep_entries ~experiment:"collapse" csweep
       in
       Harness.Bench_json.(write path (make ~substrate:"sim" ~seed entries));
       Printf.printf "Wrote bench artifact to %s\n%!" path

@@ -10,8 +10,9 @@
    (new locks, removed sweeps, null metrics) print as warnings and do
    not fail the gate.
 
-   Coverage gate: every benchmarked registry lock (the microbench and
-   abortable line-ups) must have at least one curve in BASELINE — a lock
+   Coverage gate: every benchmarked registry lock (the microbench,
+   abortable and collapse line-ups) must have at least one curve in
+   BASELINE — a lock
    added to the registry without regenerating and committing a
    BENCH_*.json would otherwise silently dodge the perf trajectory.
    --allow-missing LOCK (repeatable) stages an intentional gap. *)
@@ -91,6 +92,7 @@ let check_coverage (b : BJ.t) ~allow_missing ~path =
   let expected =
     List.map (fun (e : LR.entry) -> e.LR.name) LR.microbench_locks
     @ List.map (fun (e : LR.abortable_entry) -> e.LR.a_name) LR.abortable_locks
+    @ List.map (fun (e : LR.entry) -> e.LR.name) LR.collapse_locks
   in
   let missing =
     List.filter (fun name -> not (Hashtbl.mem covered name)) expected

@@ -9,7 +9,7 @@
      and printed as an interleaving.
    - fuzz: weighted-random schedules from a seed.
    - --replay TRACE: run one decision trace on one lock and print it.
-   - --mutants: the three seeded-bug locks must each be caught.
+   - --mutants: the four seeded-bug locks must each be caught.
    - --quick: the CI smoke — exhaustive C-BO-MCS clean + the skip-limit
      mutant caught.
 

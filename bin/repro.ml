@@ -610,6 +610,70 @@ let profile_cmd =
                  distinct lock-metadata cache lines than C-BO-MCS (the \
                  paper-claim gate used by scripts/ci.sh)."))
 
+let collapse_cmd =
+  (* Saturation collapse: thread counts from capacity to far past it,
+     under the explicit preemption model (Experiments.collapse_run). The
+     headline beyond-the-paper result: plain BO/TKT/MCS collapse once
+     logical threads exceed contexts, GCR-wrapped locks hold. *)
+  let default_collapse_threads = [ 64; 256; 1024; 4096; 8192 ] in
+  let collapse_duration_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:
+            "Simulated measurement window per data point, in milliseconds \
+             (the post-window drain of blocked acquires runs beyond it).")
+  in
+  let run topology names threads duration seed csv_dir trace emit =
+    banner topology duration seed;
+    let duration = duration * 1_000_000 in
+    let sink, finish, _ = observe trace emit in
+    let picked =
+      match names with
+      | [] -> LR.collapse_locks
+      | names ->
+          List.map
+            (fun n ->
+              match
+                List.find_opt
+                  (fun (e : LR.entry) -> e.LR.name = n)
+                  LR.collapse_locks
+              with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf
+                    "repro collapse: unknown lock %s (collapse line-up: %s)\n" n
+                    (String.concat " "
+                       (List.map (fun (e : LR.entry) -> e.LR.name)
+                          LR.collapse_locks));
+                  exit 2)
+            names
+    in
+    let locks = List.map (LR.with_trace sink) picked in
+    let s = X.collapse_sweep ~locks ~topology ~threads ~duration ~seed () in
+    X.print_collapse ~topology s;
+    maybe_csv csv_dir "collapse" ~x_label:"threads" ~columns:s.X.columns
+      ~rows:(X.throughput_rows s);
+    finish ();
+    emit_artifact emit ~seed [ ("collapse", s) ]
+  in
+  Cmd.v
+    (Cmd.info "collapse"
+       ~doc:
+         "Saturation collapse under extreme oversubscription: plain \
+          BO/TKT/MCS against their GCR concurrency-restricted wrappers and \
+          the cohort reference, from in-capacity thread counts to thousands \
+          of logical fibers.")
+    Term.(
+      const run $ topology_arg
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"LOCK"
+              ~doc:
+                "Subset of the collapse line-up to run (default: all seven).")
+      $ threads_arg ~default:default_collapse_threads
+      $ collapse_duration_arg $ seed_arg $ csv_dir_arg $ trace_arg $ emit_arg)
+
 let all_cmd =
   let run topology duration seed csv_dir trace emit =
     let sink, finish, rollup = observe trace emit in
@@ -675,6 +739,7 @@ let () =
       ext_bimodal_cmd;
       matrix_cmd;
       successors_cmd;
+      collapse_cmd;
       profile_cmd;
       all_cmd;
     ]

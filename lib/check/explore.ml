@@ -33,6 +33,11 @@ let scenario ?checks ?(topology = Numa_base.Topology.small) ?(n_threads = 3)
           clusters = topology.Numa_base.Topology.clusters;
           max_threads = Numa_base.Topology.total_threads topology;
           max_local_handoffs = 2;
+          (* A gate of 1 and a 2-grant rotation period force GCR wrappers
+             through parking, rotation and the drain rescue even with the
+             scenario's 3 threads; unused by every other lock. *)
+          gcr_max_active = 1;
+          gcr_rotate_every = 2;
         }
   in
   let checks =

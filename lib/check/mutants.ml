@@ -160,10 +160,24 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
         ~may_close:true
   end
 
+  (* GCR admission wrapper whose releaser, when surrendering the last
+     active slot, skips the passive-queue re-check. A thread that parked
+     while that active still held its slot (so the parker's own rescue
+     found the gate occupied and stood down) is never promoted: a lost
+     wakeup the engine reports as deadlock, on the default schedule
+     already — the releaser-side rescue is the only path that wakes a
+     passive list formed under an occupied gate. *)
+  module Gcr_dropped_unpark =
+    Cohort.Gcr_lock.Wrap_gen (M) (Mcs.Plain)
+      (struct
+        let drop_rescue = true
+      end)
+
   let skip_limit = (module Skip_limit : LI.LOCK)
   let lost_ticket = (module Lost_ticket : LI.LOCK)
   let late_reset = (module Late_reset : LI.LOCK)
-  let all = [ skip_limit; lost_ticket; late_reset ]
+  let gcr_dropped_unpark = (module Gcr_dropped_unpark : LI.LOCK)
+  let all = [ skip_limit; lost_ticket; late_reset; gcr_dropped_unpark ]
 
   let find name =
     List.find_opt (fun (module L : LI.LOCK) -> L.name = name) all

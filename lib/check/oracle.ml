@@ -2,9 +2,22 @@ module LI = Cohort.Lock_intf
 module Event = Numa_trace.Event
 module Sink = Numa_trace.Sink
 
-type checks = { me : bool; handoff : bool; fifo : bool; fifo_intra : bool }
+type checks = {
+  me : bool;
+  handoff : bool;
+  fifo : bool;
+  fifo_intra : bool;
+  admission : bool;
+}
 
-let me_only = { me = true; handoff = false; fifo = false; fifo_intra = false }
+let me_only =
+  {
+    me = true;
+    handoff = false;
+    fifo = false;
+    fifo_intra = false;
+    admission = false;
+  }
 
 let fifo_locks = [ "TKT"; "MCS"; "CLH"; "PTL" ]
 
@@ -14,6 +27,14 @@ let fifo_locks = [ "TKT"; "MCS"; "CLH"; "PTL" ]
    starvation bound, so the handoff oracle applies. *)
 let intra_fifo_locks = [ "CNA" ]
 
+(* GCR wrappers park the overflow, so neither global nor intra-cluster
+   FIFO holds; what they guarantee instead is the admission bound
+   (event-counted active set <= gcr_max_active at every trace point, no
+   admit/unpark of a parked thread) and the rotation starvation bound
+   (a parked thread is promoted within a queue-position-proportional
+   number of gcr_rotate_every-grant periods). *)
+let admission_locks = [ "GCR-BO"; "GCR-MCS"; "GCR-C-BO-MCS" ]
+
 let for_lock name =
   {
     me = true;
@@ -22,6 +43,7 @@ let for_lock name =
       || List.mem name intra_fifo_locks;
     fifo = List.mem name fifo_locks;
     fifo_intra = List.mem name intra_fifo_locks;
+    admission = List.mem name admission_locks;
   }
 
 module Make (M : Numa_base.Memory_intf.MEMORY) = struct
@@ -36,6 +58,12 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
         (* per-cluster queue-join order, for fifo_intra *)
     mutable run : int;  (* consecutive local handoffs of current batch *)
     limit : int option;  (* may-pass-local bound, when counted *)
+    mutable gcr_active : int;  (* event-counted GCR active set *)
+    mutable gcr_exits : int;  (* total Gcr_exit events (= grants) *)
+    gcr_parked : (int, int * int) Hashtbl.t;
+        (* parked tid -> (queue length, gcr_exits) at park time *)
+    gcr_k : int;  (* admission bound (config.gcr_max_active) *)
+    gcr_rotate : int;  (* rotation period (config.gcr_rotate_every) *)
   }
 
   let cluster_queue st c =
@@ -120,6 +148,54 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           | _ -> ()
         end
     | Event.Handoff_global -> if st.checks.handoff then st.run <- 0
+    | Event.Gcr_admit | Event.Gcr_unpark ->
+        if st.checks.admission then begin
+          if ev.kind = Event.Gcr_admit && Hashtbl.mem st.gcr_parked ev.tid then
+            Violation.fail ~lock:st.lock ~invariant:"gcr-admission" ~tid:ev.tid
+              ~at:ev.at "gate admission of a thread that is still parked";
+          (if ev.kind = Event.Gcr_unpark then
+             match Hashtbl.find_opt st.gcr_parked ev.tid with
+             | None ->
+                 Violation.fail ~lock:st.lock ~invariant:"gcr-admission"
+                   ~tid:ev.tid ~at:ev.at "unpark of a thread that never parked"
+             | Some (qlen, exits_then) ->
+                 Hashtbl.remove st.gcr_parked ev.tid;
+                 (* Starvation bound: every release emits one Gcr_exit,
+                    and a rotation fires every gcr_rotate grants, so a
+                    waiter behind [qlen] others must be promoted within
+                    (qlen + 2) periods (the +2 absorbs the in-flight
+                    grant at park time and the promote-vs-rescue race). *)
+                 let waited = st.gcr_exits - exits_then in
+                 if waited > (qlen + 2) * st.gcr_rotate then
+                   Violation.fail ~lock:st.lock
+                     ~invariant:"gcr-rotation-fairness" ~tid:ev.tid ~at:ev.at
+                     (Printf.sprintf
+                        "parked at queue length %d but promoted only after %d \
+                         grants (rotation period %d)"
+                        qlen waited st.gcr_rotate));
+          st.gcr_active <- st.gcr_active + 1;
+          if st.gcr_active > st.gcr_k then
+            Violation.fail ~lock:st.lock ~invariant:"gcr-admission" ~tid:ev.tid
+              ~at:ev.at
+              (Printf.sprintf "%d threads active exceeds the admission bound %d"
+                 st.gcr_active st.gcr_k)
+        end
+    | Event.Gcr_park ->
+        if st.checks.admission then begin
+          if Hashtbl.mem st.gcr_parked ev.tid then
+            Violation.fail ~lock:st.lock ~invariant:"gcr-admission" ~tid:ev.tid
+              ~at:ev.at "park of a thread that is already parked";
+          Hashtbl.replace st.gcr_parked ev.tid
+            (Hashtbl.length st.gcr_parked, st.gcr_exits)
+        end
+    | Event.Gcr_exit ->
+        if st.checks.admission then begin
+          st.gcr_active <- st.gcr_active - 1;
+          st.gcr_exits <- st.gcr_exits + 1;
+          if st.gcr_active < 0 then
+            Violation.fail ~lock:st.lock ~invariant:"gcr-admission" ~tid:ev.tid
+              ~at:ev.at "active-set exit without a matching admission"
+        end
     | Event.Abort | Event.Starvation_limit_hit | Event.Coh_transfer _
     | Event.Coh_invalidate _ ->
         ()
@@ -153,10 +229,18 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
               | LI.Counted | LI.Counted_or_timed _ ->
                   Some cfg.LI.max_local_handoffs
               | LI.Timed _ | LI.Unbounded -> None);
+            gcr_active = 0;
+            gcr_exits = 0;
+            gcr_parked = Hashtbl.create 8;
+            gcr_k = max 1 cfg.LI.gcr_max_active;
+            gcr_rotate = max 1 cfg.LI.gcr_rotate_every;
           }
         in
         let cfg =
-          if checks.handoff || checks.fifo || checks.fifo_intra then
+          if
+            checks.handoff || checks.fifo || checks.fifo_intra
+            || checks.admission
+          then
             {
               cfg with
               LI.trace = Sink.tee (Sink.make (on_event st)) cfg.LI.trace;

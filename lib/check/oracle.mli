@@ -14,7 +14,13 @@
       ([Enqueue] trace event) order;
     - {e intra-cluster FIFO}: for queue-reordering locks (CNA), acquires
       within each cluster must happen in that cluster's queue-join order
-      — the guarantee that survives the cross-socket reordering.
+      — the guarantee that survives the cross-socket reordering;
+    - {e GCR admission}: for the concurrency-restricted GCR wrappers,
+      the event-counted active set ([Gcr_admit]/[Gcr_unpark] minus
+      [Gcr_exit]) stays within [0, gcr_max_active], park/unpark pair up
+      per thread, and a parked thread is promoted within a
+      queue-position-proportional number of [gcr_rotate_every]-grant
+      rotation periods (the starvation bound).
 
     The handoff and FIFO checks consume the lock's own trace stream (a
     sink teed into [cfg.trace] at [create]) and assume events arrive in
@@ -22,7 +28,13 @@
     code inside the emitting memory operation's engine event. Enable them
     only on a deterministic runtime; [me] is substrate-safe. *)
 
-type checks = { me : bool; handoff : bool; fifo : bool; fifo_intra : bool }
+type checks = {
+  me : bool;
+  handoff : bool;
+  fifo : bool;
+  fifo_intra : bool;
+  admission : bool;
+}
 
 val me_only : checks
 (** Mutual exclusion + usage discipline only: safe everywhere. *)
@@ -31,7 +43,13 @@ val for_lock : string -> checks
 (** Checks applicable to a registry lock by name: [handoff] for cohort
     locks (name starts with ["C-"]) and for CNA (its counted flush obeys
     the same starvation bound), [fifo] for the strict FIFO queue locks
-    (TKT, MCS, CLH, PTL), [fifo_intra] for CNA, [me] always. *)
+    (TKT, MCS, CLH, PTL), [fifo_intra] for CNA, [admission] for the GCR
+    wrappers ({!admission_locks}), [me] always. *)
+
+val admission_locks : string list
+(** Registry locks carrying the GCR admission/rotation guarantee; a new
+    GCR-wrapped registry entry must be added here or torture [--oracle]
+    and the explorer silently under-check it. *)
 
 module Make (M : Numa_base.Memory_intf.MEMORY) : sig
   val wrap :

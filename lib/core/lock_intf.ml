@@ -45,6 +45,14 @@ type config = {
   hbo_remote_min : int;  (** HBO backoff when the holder is remote, ns. *)
   hbo_remote_max : int;
   hclh_window : int;  (** HCLH master combining window, ns. *)
+  gcr_max_active : int;
+      (** GCR admission bound: at most this many threads may hold or
+          actively compete for a {!Gcr_lock}-wrapped lock; the overflow
+          parks on the passive list. *)
+  gcr_rotate_every : int;
+      (** GCR rotation period: every this-many lock grants the releaser
+          promotes the oldest passive waiter instead of merely retiring,
+          which bounds passive-list starvation. *)
   trace : Numa_trace.Sink.t;
       (** where instrumented locks emit {!Numa_trace.Event} records.
           [Sink.noop] (the default) disables tracing: instrumentation
@@ -66,6 +74,8 @@ let default =
     hbo_remote_min = 800;
     hbo_remote_max = 50_000;
     hclh_window = 0;
+    gcr_max_active = 4;
+    gcr_rotate_every = 64;
     trace = Numa_trace.Sink.noop;
   }
 

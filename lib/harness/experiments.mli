@@ -192,6 +192,36 @@ val successor_comparison :
     distinct lock-metadata cache lines touched (from a profiled run —
     stats-only, so schedules match the unprofiled sweeps). *)
 
+val collapse_run :
+  Lock_registry.entry ->
+  topology:Numa_base.Topology.t ->
+  n_threads:int ->
+  duration:int ->
+  seed:int ->
+  Lbench.result
+(** One saturation-collapse data point: the LBench-style loop with an
+    explicit preemption model (quantum expiry at the pre-acquire and
+    post-acquire checkpoints costs a full descheduling round of
+    [(ceil(n/contexts) - 1) * 10us]), which makes oversubscription hurt
+    the way a real scheduler does. In-capacity runs are untouched by the
+    model; only work completed inside the measurement window counts
+    (the post-window drain of blocked acquires still runs). Latency and
+    miss metrics are [nan] — the experiment measures throughput,
+    iterations, fairness and migrations. *)
+
+val collapse_sweep :
+  ?locks:Lock_registry.entry list ->
+  topology:Numa_base.Topology.t ->
+  threads:int list ->
+  duration:int ->
+  seed:int ->
+  unit ->
+  sweep
+(** {!collapse_run} for every (lock, thread-count); defaults to
+    {!Lock_registry.collapse_locks}. *)
+
+val print_collapse : topology:Numa_base.Topology.t -> sweep -> unit
+
 val composition_matrix :
   topology:Numa_base.Topology.t ->
   n_threads:int ->

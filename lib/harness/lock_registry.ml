@@ -56,6 +56,7 @@ module type S = sig
   val abortable_locks : abortable_entry list
   val app_locks : entry list
   val extra_locks : entry list
+  val collapse_locks : entry list
   val all_locks : entry list
   val find : string -> entry option
   val find_abortable : string -> abortable_entry option
@@ -90,6 +91,9 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
   module Pthread = Baselines.Pthread_like.Make (M)
   module Cna = Cohort.Cna_lock.Make (M)
   module Ptl = Cohort.Ptl_lock.Make (M)
+  module Gcr_bo = Cohort.Gcr_lock.Wrap (M) (Bo.Plain)
+  module Gcr_mcs = Cohort.Gcr_lock.Wrap (M) (Mcs.Plain)
+  module Gcr_c_bo_mcs = Cohort.Gcr_lock.Wrap (M) (C_bo_mcs)
 
   (* The Figure 2-5 line-up, in the paper's legend order, followed by
      the two post-paper successors (CNA, PTL) the repo measures against
@@ -141,6 +145,20 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
     [ plain "BO" (module Bo.Plain); plain "TKT" (module Tkt.Plain);
       plain "CLH" (module Clh.Plain); plain "HCLH-full" (module Hclh_full) ]
 
+  (* The saturation-collapse line-up (see the [collapse] experiment):
+     plain locks that collapse past capacity, their GCR-wrapped
+     counterparts, and the cohort reference. *)
+  let collapse_locks : entry list =
+    [
+      plain "BO" (module Bo.Plain);
+      plain "TKT" (module Tkt.Plain);
+      plain "MCS" (module Mcs.Plain);
+      plain "C-BO-MCS" (module C_bo_mcs);
+      plain "GCR-BO" (module Gcr_bo);
+      plain "GCR-MCS" (module Gcr_mcs);
+      plain "GCR-C-BO-MCS" (module Gcr_c_bo_mcs);
+    ]
+
   let all_locks : entry list =
     let seen = Hashtbl.create 16 in
     List.filter
@@ -150,7 +168,7 @@ module Make (M : Numa_base.Memory_intf.MEMORY) = struct
           Hashtbl.add seen e.name ();
           true
         end)
-      (microbench_locks @ app_locks @ extra_locks)
+      (microbench_locks @ app_locks @ extra_locks @ collapse_locks)
 
   let find name = List.find_opt (fun e -> e.name = name) all_locks
 

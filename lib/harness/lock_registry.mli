@@ -55,6 +55,11 @@ module type S = sig
   val extra_locks : entry list
   (** Locks outside the paper's evaluation line-ups (plain BO/TKT/CLH). *)
 
+  val collapse_locks : entry list
+  (** The saturation-collapse line-up: plain BO/TKT/MCS (which collapse
+      past capacity), their GCR-wrapped counterparts and the C-BO-MCS
+      reference (7 locks; see the [collapse] experiment). *)
+
   val all_locks : entry list
   (** Every entry, deduplicated by name. *)
 

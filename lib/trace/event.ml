@@ -6,6 +6,10 @@ type kind =
   | Abort
   | Starvation_limit_hit
   | Enqueue
+  | Gcr_admit
+  | Gcr_exit
+  | Gcr_park
+  | Gcr_unpark
   | Coh_transfer of { site : string; ns : int }
   | Coh_invalidate of { site : string; ns : int }
 
@@ -19,6 +23,10 @@ let kind_to_string = function
   | Abort -> "abort"
   | Starvation_limit_hit -> "starvation_limit_hit"
   | Enqueue -> "enqueue"
+  | Gcr_admit -> "gcr_admit"
+  | Gcr_exit -> "gcr_exit"
+  | Gcr_park -> "gcr_park"
+  | Gcr_unpark -> "gcr_unpark"
   | Coh_transfer { site; ns } -> Printf.sprintf "coh_transfer:%s:%d" site ns
   | Coh_invalidate { site; ns } ->
       Printf.sprintf "coh_invalidate:%s:%d" site ns
@@ -45,6 +53,10 @@ let kind_of_string = function
   | "abort" -> Some Abort
   | "starvation_limit_hit" -> Some Starvation_limit_hit
   | "enqueue" -> Some Enqueue
+  | "gcr_admit" -> Some Gcr_admit
+  | "gcr_exit" -> Some Gcr_exit
+  | "gcr_park" -> Some Gcr_park
+  | "gcr_unpark" -> Some Gcr_unpark
   | s -> (
       match coh_payload s ~prefix:"coh_transfer:" with
       | Some (site, ns) -> Some (Coh_transfer { site; ns })
@@ -56,13 +68,15 @@ let kind_of_string = function
 let is_acquire = function
   | Acquire_local | Acquire_global -> true
   | Handoff_within_cohort | Handoff_global | Abort | Starvation_limit_hit
-  | Enqueue | Coh_transfer _ | Coh_invalidate _ ->
+  | Enqueue | Gcr_admit | Gcr_exit | Gcr_park | Gcr_unpark | Coh_transfer _
+  | Coh_invalidate _ ->
       false
 
 let is_release = function
   | Handoff_within_cohort | Handoff_global -> true
   | Acquire_local | Acquire_global | Abort | Starvation_limit_hit | Enqueue
-  | Coh_transfer _ | Coh_invalidate _ ->
+  | Gcr_admit | Gcr_exit | Gcr_park | Gcr_unpark | Coh_transfer _
+  | Coh_invalidate _ ->
       false
 
 let pp ppf e =

@@ -31,6 +31,20 @@ type kind =
           FAA, or the MCS/CLH tail swap). Emitted only by the plain
           queue locks; the linearisation point of queue order, which the
           FIFO oracle checks acquires against. *)
+  | Gcr_admit
+      (** a thread won a slot in a GCR wrapper's active set (after the
+          admission CAS, before the inner acquire). The admission oracle
+          counts these against [gcr_max_active]. *)
+  | Gcr_exit
+      (** a GCR active thread is leaving the active set (emitted in
+          release, before the slot is surrendered or transferred). *)
+  | Gcr_park
+      (** a thread joined a GCR wrapper's passive list (after publishing
+          its slot, before blocking). *)
+  | Gcr_unpark
+      (** a parked thread observed its promotion grant and re-entered the
+          active set (it inherits the promoting thread's slot, so no
+          [Gcr_admit] follows). *)
   | Coh_transfer of { site : string; ns : int }
       (** a cross-cluster cache-to-cache transfer of the line allocated
           at [site], costing [ns] simulated nanoseconds (including

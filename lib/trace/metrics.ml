@@ -81,7 +81,9 @@ let of_events ?(wait_p50 = Float.nan) ?(wait_p99 = Float.nan) events =
           end
       | Abort -> incr aborts
       | Starvation_limit_hit -> incr starvation
-      | Enqueue | Coh_transfer _ | Coh_invalidate _ -> ())
+      | Enqueue | Gcr_admit | Gcr_exit | Gcr_park | Gcr_unpark
+      | Coh_transfer _ | Coh_invalidate _ ->
+          ())
     events;
   let batch_arr =
     Array.of_list (List.rev_map float_of_int !batches)

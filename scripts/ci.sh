@@ -16,6 +16,13 @@
 #                mutant caught; repeated on the hierarchical rack preset
 #                (soundness leg only — the mutant leg always runs on the
 #                default machine, where threads are co-located)
+#   collapse     saturation-collapse smoke: a quick oversubscribed sweep
+#                (64 and 1024 logical threads on the 256-context T5440,
+#                all seven collapse locks) run twice with the same seed
+#                and byte-compared — the preemption model and the GCR
+#                parking/rotation machinery must be as deterministic as
+#                the rest of the sim (the >= 2x survival claim itself is
+#                gated by test/test_gcr.ml's ordering check)
 #   enginebench  engine host-throughput smoke: NON-gating on the numbers
 #                (host wall-clock is noisy) — it only has to run; the
 #                figures land in the log for eyeballing trends
@@ -45,7 +52,7 @@
 # build lock, so nested dune invocations would hang).
 set -euo pipefail
 
-STAGES=(check runtest torture explore enginebench paper-claim determinism bench-diff)
+STAGES=(check runtest torture explore collapse enginebench paper-claim determinism bench-diff)
 
 usage() {
   echo "usage: scripts/ci.sh [--stage NAME]..."
@@ -182,6 +189,26 @@ if want explore; then
   end
 else
   skip explore "skipped (--stage)"
+fi
+
+# --- collapse -------------------------------------------------------------
+
+if want collapse; then
+  begin collapse
+  repro collapse --threads 64,1024 --duration-ms 1 \
+    --emit-bench-json "$tmp/COLLAPSE_a.json" >"$tmp/collapse.log"
+  tail -n 4 "$tmp/collapse.log"
+  repro collapse --threads 64,1024 --duration-ms 1 \
+    --emit-bench-json "$tmp/COLLAPSE_b.json" >/dev/null
+  if ! cmp "$tmp/COLLAPSE_a.json" "$tmp/COLLAPSE_b.json"; then
+    echo "ci: FAIL — same-seed collapse artifacts differ; the preemption" >&2
+    echo "model or the GCR parking/rotation machinery is nondeterministic." >&2
+    exit 1
+  fi
+  echo "   artifacts byte-identical"
+  end
+else
+  skip collapse "skipped (--stage)"
 fi
 
 # --- enginebench ----------------------------------------------------------

@@ -142,6 +142,14 @@ let mutant_cases =
        publish/reset window, wedging the queue. *)
     Alcotest.test_case "MCS!late-reset -> deadlock" `Quick
       (catch_mutant Mut.late_reset ~invariant:"deadlock" ~pin:"0:1,5:1");
+    (* The dropped releaser-side rescue is a lost wakeup on the default
+       schedule already: a thread parks while the holder is still
+       active (so the parker's own rescue finds the gate occupied and
+       stands down), and when that last active retires nobody is left
+       to promote the passive list. *)
+    Alcotest.test_case "GCR-MCS!dropped-unpark -> deadlock" `Quick
+      (catch_mutant Mut.gcr_dropped_unpark ~invariant:"deadlock"
+         ~pin:"default");
   ]
 
 (* Cross-check: the reduction keeps every mutant catchable with the SAME
@@ -159,6 +167,9 @@ let mutant_cases_pruned =
     Alcotest.test_case "MCS!late-reset (pruned)" `Quick
       (catch_mutant ~prune:true Mut.late_reset ~invariant:"deadlock"
          ~pin:"0:1,5:1");
+    Alcotest.test_case "GCR-MCS!dropped-unpark (pruned)" `Quick
+      (catch_mutant ~prune:true Mut.gcr_dropped_unpark ~invariant:"deadlock"
+         ~pin:"default");
   ]
 
 (* --- Fuzzing ------------------------------------------------------------- *)

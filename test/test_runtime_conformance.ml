@@ -138,6 +138,48 @@ struct
         declared.(tid)
     done
 
+  (* GCR-style spin-then-park handshake at 1.5x oversubscription: odd
+     tids park on a per-tid gate cell (a short timed spin, then the
+     blocking wait — park_lock's shape), even tids unpark their +1
+     partner. Half the wakers signal immediately (the parker is caught
+     in its spin phase), half wait until the parker has certainly
+     blocked. Wakeups must reach the right LOGICAL tid even though
+     wrapped logical threads share hardware contexts, and a blocked
+     parker must never prevent the waker sharing its context from
+     running (the lost-wakeup shape behind Gcr_lock's passive list). *)
+  let test_park_oversubscribed () =
+    let total = Topology.total_threads topo4 in
+    let n = total + 8 in
+    let gates = Array.init n (fun _ -> M.cell' ~name:"conf.gate" 0) in
+    let woken_by = Array.make n (-1) in
+    let parked = Array.make n false in
+    let stats =
+      RT.run ~topology:topo4 ~n_threads:n (fun ~stop:_ ~tid ~cluster:_ ->
+          if tid land 1 = 1 then (
+            match
+              M.wait_until_for gates.(tid) (fun v -> v <> 0) ~timeout:P.tick
+            with
+            | Some v -> woken_by.(tid) <- v - 1
+            | None ->
+                parked.(tid) <- true;
+                let v = M.wait_until gates.(tid) (fun v -> v <> 0) in
+                woken_by.(tid) <- v - 1)
+          else begin
+            if tid mod 4 <> 0 then M.pause (4 * P.tick);
+            M.write gates.(tid + 1) (tid + 1)
+          end)
+    in
+    Alcotest.(check int)
+      "all logical threads finished" n stats.Runtime_intf.threads_finished;
+    for tid = 0 to n - 1 do
+      if tid land 1 = 1 then
+        Alcotest.(check int)
+          (Printf.sprintf "tid %d woken by its partner" tid)
+          (tid - 1) woken_by.(tid)
+    done;
+    Alcotest.(check bool) "the slow wakers found their partners parked" true
+      (Array.exists Fun.id parked)
+
   let test_checker_violation_raised () =
     let module CL = Harness.Check_lock.Make (M) in
     let (module L) = CL.wrap (module Broken) in
@@ -169,6 +211,8 @@ struct
       Alcotest.test_case "stop flag: manual request" speed test_manual_stop;
       Alcotest.test_case "barrier" speed test_barrier;
       Alcotest.test_case "oversubscribed run" speed test_oversubscribed;
+      Alcotest.test_case "park/unpark oversubscribed" speed
+        test_park_oversubscribed;
       Alcotest.test_case "checker violation raised" speed
         test_checker_violation_raised;
     ]
