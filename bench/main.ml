@@ -243,7 +243,9 @@ let run_sim ~quick ~trace ~emit ~profile =
      preemption model; the expensive extreme rows live in bin/repro.exe
      collapse — here a short sweep keeps every collapse lock on the
      perf trajectory (bench_diff's coverage gate reads these curves). *)
-  let collapse_threads = if quick then [ 64; 1024 ] else [ 64; 1024; 4096 ] in
+  let collapse_threads =
+    if quick then [ 64; 1024; 2048 ] else [ 64; 1024; 2048; 4096 ]
+  in
   let csweep =
     X.collapse_sweep
       ~locks:(List.map (R.with_trace sink) R.collapse_locks)
@@ -277,10 +279,15 @@ let () =
     | "--emit-bench-json" :: f :: rest ->
         parse (quick, trace, Some f, profile) rest
     | "--profile" :: rest -> parse (quick, trace, emit, true) rest
+    (* The artifacts must be byte-identical either way (CI diffs them);
+       the flag exists so that check is cheap to run. *)
+    | "--fastpath" :: ("on" | "off" as v) :: rest ->
+        Numasim.Engine.set_fastpath (v = "on");
+        parse (quick, trace, emit, profile) rest
     | a :: _ ->
         Printf.eprintf
           "unknown argument %S (expected: quick, --trace FILE, \
-           --emit-bench-json FILE, --profile)\n"
+           --emit-bench-json FILE, --profile, --fastpath on|off)\n"
           a;
         exit 2
   in

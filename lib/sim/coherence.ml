@@ -218,6 +218,75 @@ let p_memory row l =
       r.sp_memory_misses <- r.sp_memory_misses + 1;
       r.sp_stall_memory_ns <- r.sp_stall_memory_ns + l
 
+(* Fast-path classification (see doc/SIMULATOR.md "Engine fast path"):
+   the latency an epoch-current same-domain hit would charge, or -1 when
+   the access is anything else. Pure — no state transition, no counter —
+   so the engine can probe a line and fall back to the effect path
+   having touched nothing. Covers exactly the branches of [access] below
+   that never call [transfer] (no [busy_until] read or write), never
+   cross the interconnect and never emit a trace event: L1 hits (same
+   thread, line cached by [domain] — Modified for writes, Modified or
+   Shared for reads), local hits (different thread, same cache) and the
+   silent upgrade (write to a line Shared by [domain] alone). The Rmw
+   [atomic_extra] is the engine's to add — like in [access], it is
+   latency only, never stall attribution. *)
+let fast_hit_ns (topo : Tp.t) line ~epoch ~domain ~thread kind =
+  if line.epoch <> epoch then -1
+  else
+    let lat = topo.Tp.latency in
+    match kind with
+    | Read ->
+        if line.owner = domain || line.sharers land bit domain <> 0 then
+          if line.last_thread = thread then lat.l1_hit else lat.local_hit
+        else -1
+    | Write | Rmw ->
+        if line.owner = domain then
+          if line.last_thread = thread then lat.l1_hit else lat.local_hit
+        else if line.sharers = bit domain then lat.upgrade_local
+        else -1
+
+(* Charge an inlined same-domain hit: byte-for-byte the counter,
+   attribution and state movements of the matching [access] branch.
+   [ns] is the stall [fast_hit_ns] returned (the Rmw extra never lands
+   in [sp_stall_local_ns]). The branch is re-derived from the line —
+   unchanged since the probe, which ran in the same engine step. State
+   stores are replayed literally: reads touch [last_thread] only; the
+   write branches also set [owner]/[sharers] (value-preserving except
+   for the upgrade, which really does take ownership). [line.prow] is
+   [Some] exactly when a profiler attributed this line this epoch, so
+   profiled runs keep attributing every access. *)
+let charge_fast_hit st line ~domain ~thread kind ~ns =
+  st.accesses <- st.accesses + 1;
+  let row = line.prow in
+  (match row with
+  | None -> ()
+  | Some r -> r.sp_accesses <- r.sp_accesses + 1);
+  let l1 =
+    line.last_thread = thread
+    &&
+    match kind with
+    | Read -> line.owner = domain || line.sharers land bit domain <> 0
+    | Write | Rmw -> line.owner = domain
+  in
+  if l1 then begin
+    st.l1_hits <- st.l1_hits + 1;
+    match row with
+    | None -> ()
+    | Some r ->
+        r.sp_l1_hits <- r.sp_l1_hits + 1;
+        r.sp_stall_local_ns <- r.sp_stall_local_ns + ns
+  end
+  else begin
+    st.local_hits <- st.local_hits + 1;
+    p_local row ns
+  end;
+  (match kind with
+  | Read -> ()
+  | Write | Rmw ->
+      line.owner <- domain;
+      line.sharers <- 0);
+  line.last_thread <- thread
+
 let access ?prof st (topo : Tp.t) line ~now ~epoch ~domain ~thread kind =
   let lat = topo.Tp.latency in
   let cluster = domain in

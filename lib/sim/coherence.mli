@@ -97,6 +97,31 @@ val sites : profiler -> Numa_trace.Profile.site list
 val export : stats -> Numa_trace.Profile.coherence
 (** Immutable snapshot of the engine-global counters. *)
 
+val fast_hit_ns :
+  Numa_base.Topology.t ->
+  line ->
+  epoch:int ->
+  domain:int ->
+  thread:int ->
+  kind ->
+  int
+(** Engine fast-path probe: the stall {!access} would charge if this
+    access is an epoch-current same-domain hit — an L1 hit, a local hit
+    or a silent upgrade, i.e. any branch of {!access} that performs no
+    cross-domain transfer (no [busy_until] traffic, no interconnect
+    charge, no trace event) — or [-1] for any other class. Pure: no
+    state, no counters — a failed probe leaves the line untouched for
+    {!access}. Callers add the Rmw [atomic_extra] themselves, as
+    latency only. *)
+
+val charge_fast_hit :
+  stats -> line -> domain:int -> thread:int -> kind -> ns:int -> unit
+(** Charge an inlined same-domain hit: the exact counter, attribution
+    and state movements of the matching {!access} branch ([ns] = the
+    stall {!fast_hit_ns} returned). Only meaningful directly after
+    {!fast_hit_ns} returned [ns >= 0] for the same arguments, with the
+    line untouched in between. *)
+
 val access :
   ?prof:profiler ->
   stats ->

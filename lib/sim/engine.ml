@@ -11,6 +11,13 @@ type 'a wait_desc = {
   w_line : Coherence.line;
   w_pred : unit -> 'a option;
   w_timeout : int option;
+  w_precharged : bool;
+      (* the performer already charged the initial read, advanced the
+         clock to the first check's time and found the predicate false
+         (the fast path in [Sim_mem.wait_until]): park directly instead
+         of charging and scheduling a Spin_check. Untimed waits only —
+         a timeout deadline is computed from [now] at perform time, and
+         precharging has already moved [now]. *)
 }
 
 type _ Effect.t +=
@@ -25,6 +32,7 @@ type result = {
   coherence : Coherence.stats;
   events : int;
   threads_finished : int;
+  fp_hits : int;
   icx : Numa_trace.Profile.interconnect;
   icx_levels : Numa_trace.Profile.interconnect_level list;
   sites : Numa_trace.Profile.site list option;
@@ -116,6 +124,16 @@ type t = {
       (* coherence-class events only (Coh_transfer / Coh_invalidate); lock
          events go through each lock's own sink. Kept separate so the
          per-remote-txn firehose cannot flood a lock-event rollup ring. *)
+  fp_limit : int;
+      (* the run's [horizon] (or max_int): an inlined access may not
+         complete past it — the heap path would have discarded its
+         completion event unrun *)
+  mutable fp_hits : int;  (* events retired inline by the fast path *)
+  mutable cur_tid : int;
+  mutable cur_dom : int;
+  mutable cur_cluster : int;
+      (* identity of the fiber currently executing — refreshed before
+         every [continue]/[match_with], read by the fast path below *)
 }
 
 let epoch_counter = Atomic.make 0
@@ -251,10 +269,140 @@ let add_waiter eng line w =
   end;
   Waitq.push q w
 
+(* --- fast path (doc/SIMULATOR.md "Engine fast path") -------------------
+   An access may retire inline — no effect, no heap event — exactly when
+   running it inline is indistinguishable from the heap path. The heap
+   path charges the access at perform time, schedules its completion at
+   [now + lat], and (gate below) that completion would be the very next
+   event popped; inlining replays the pop verbatim: advance the clock,
+   bump the event counter, execute the payload. Two restrictions make
+   the gate sound and cheap:
+
+   - Epoch-current same-domain hits only (L1, local, silent upgrade).
+     Their classification is pure (no [transfer], no [busy_until], no
+     interconnect charge, no coherence trace event), so a failed probe
+     falls through to the effect path having touched nothing, and a
+     successful one needs no state transition beyond
+     [Coherence.charge_fast_hit]'s replayed stores.
+
+   - Completion strictly before every pending heap event
+     ([Event_heap.min_time], one array load) and within the horizon. A
+     tie loses: the pending event carries an older issue seq and would
+     pop first, and running it could change the line, the value read,
+     or even the hit classification. Strictness also keeps quantum/
+     epoch boundaries (plain heap events, e.g. the collapse model's
+     preemption ticks) and Timeout events ahead of any inlined work.
+
+   Writes and Rmws additionally require no parked waiters (the same
+   one-field-load guard [notify] uses) — a waiterless write wakes
+   nobody, so skipping [notify] is exact. Explore mode never installs
+   [cur_engine], so a scheduling policy in force means every access
+   takes the slow path and the explorer sees every decision point. *)
+
+let fp_enabled = ref true
+let set_fastpath b = fp_enabled := b
+let fastpath_enabled () = !fp_enabled
+
+(* The engine whose heap-mode run loop is currently live. The sim
+   substrate is single-domain by design (fibers, not domains), so a
+   plain ref is safe; nested runs save/restore it. *)
+let cur_engine : t option ref = ref None
+
+let fast_op line kind =
+  !fp_enabled
+  &&
+  match !cur_engine with
+  | None -> false
+  | Some eng -> (
+      match eng.mode with
+      | Explore _ -> false
+      | Heap h ->
+          let ns =
+            Coherence.fast_hit_ns eng.topo line ~epoch:eng.epoch
+              ~domain:eng.cur_dom ~thread:eng.cur_tid kind
+          in
+          ns >= 0
+          && (match kind with
+             | Coherence.Read -> true
+             | Coherence.Write | Coherence.Rmw ->
+                 let q = line.Coherence.wq in
+                 Waitq.is_empty q || q.Waitq.epoch <> eng.epoch)
+          &&
+          let total =
+            match kind with
+            | Coherence.Rmw -> ns + eng.topo.Topology.latency.Latency.atomic_extra
+            | Coherence.Read | Coherence.Write -> ns
+          in
+          let c = eng.now + total in
+          c < Event_heap.min_time h
+          && c <= eng.fp_limit
+          && begin
+               Coherence.charge_fast_hit eng.cstats line ~domain:eng.cur_dom
+                 ~thread:eng.cur_tid kind ~ns;
+               eng.now <- c;
+               eng.events <- eng.events + 1;
+               eng.fp_hits <- eng.fp_hits + 1;
+               true
+             end)
+
+(* A pause is pure scheduling: if its expiry beats every pending event,
+   the pop would resume us immediately — skip the round trip. *)
+let fast_pause d =
+  !fp_enabled
+  &&
+  match !cur_engine with
+  | None -> false
+  | Some eng -> (
+      match eng.mode with
+      | Explore _ -> false
+      | Heap h ->
+          let c = eng.now + max 0 d in
+          c < Event_heap.min_time h
+          && c <= eng.fp_limit
+          && begin
+               eng.now <- c;
+               eng.events <- eng.events + 1;
+               eng.fp_hits <- eng.fp_hits + 1;
+               true
+             end)
+
+(* [Now]/[Self] schedule nothing on the slow path either, so answering
+   from the engine record is unconditionally neutral; -1 = unavailable
+   (no heap run live), perform the effect. *)
+let fast_now () =
+  if not !fp_enabled then -1
+  else
+    match !cur_engine with
+    | Some ({ mode = Heap _; _ } as eng) -> eng.now
+    | _ -> -1
+
+let fast_self_tid () =
+  if not !fp_enabled then -1
+  else
+    match !cur_engine with
+    | Some ({ mode = Heap _; _ } as eng) -> eng.cur_tid
+    | _ -> -1
+
+let fast_self_cluster () =
+  if not !fp_enabled then -1
+  else
+    match !cur_engine with
+    | Some ({ mode = Heap _; _ } as eng) -> eng.cur_cluster
+    | _ -> -1
+
 (* [dom] is the thread's leaf domain (drives coherence distances);
    [cluster] its cohort cluster (what locks and trace events see). On
    every flat preset the two coincide. *)
 let handler eng ~tid ~dom ~cluster =
+  (* Fibers only (re)gain control through a [continue] below (or the
+     Start thunk's [match_with]); stamping the engine there keeps
+     [cur_tid]/[cur_dom]/[cur_cluster] equal to the running fiber, which
+     the fast path's hit classification depends on. *)
+  let set_ctx () =
+    eng.cur_tid <- tid;
+    eng.cur_dom <- dom;
+    eng.cur_cluster <- cluster
+  in
   {
     retc = (fun () -> eng.live <- eng.live - 1);
     exnc =
@@ -285,6 +433,7 @@ let handler eng ~tid ~dom ~cluster =
                     (match o.o_kind with
                     | Coherence.Read -> ()
                     | Coherence.Write | Coherence.Rmw -> notify eng o.o_line);
+                    set_ctx ();
                     continue k v))
         | Wait d ->
             Some
@@ -332,33 +481,45 @@ let handler eng ~tid ~dom ~cluster =
                     match d.w_pred () with
                     | Some _ as r ->
                         finished := true;
+                        set_ctx ();
                         continue k r
                     | None -> park ()
                 in
-                if not untimed then
-                  schedule eng ~tid ~cls:Timeout ~line:d.w_line
-                    (if deadline > eng.now then deadline else eng.now)
-                    (fun () ->
-                      if not !finished then begin
-                        finished := true;
-                        (match !cur with
-                        | Some w ->
-                            w.Waitq.active <- false;
-                            cur := None
-                        | None -> ());
-                        continue k None
-                      end);
-                let lat =
-                  access eng ~dom ~cluster ~thread:tid d.w_line Coherence.Read
-                in
-                schedule eng ~tid ~cls:Spin_check ~line:d.w_line
-                  (eng.now + lat) attempt)
+                if d.w_precharged then
+                  (* The performer's fast path already charged the read,
+                     advanced the clock to the first check's time and saw
+                     the predicate fail — the heap path would park here
+                     (precharged descs are untimed by contract). *)
+                  park ()
+                else begin
+                  if not untimed then
+                    schedule eng ~tid ~cls:Timeout ~line:d.w_line
+                      (if deadline > eng.now then deadline else eng.now)
+                      (fun () ->
+                        if not !finished then begin
+                          finished := true;
+                          (match !cur with
+                          | Some w ->
+                              w.Waitq.active <- false;
+                              cur := None
+                          | None -> ());
+                          set_ctx ();
+                          continue k None
+                        end);
+                  let lat =
+                    access eng ~dom ~cluster ~thread:tid d.w_line Coherence.Read
+                  in
+                  schedule eng ~tid ~cls:Spin_check ~line:d.w_line
+                    (eng.now + lat) attempt
+                end)
         | Pause d ->
             Some
               (fun (k : (b, unit) continuation) ->
                 schedule eng ~tid ~cls:Resume ~line:no_line
                   (eng.now + max 0 d)
-                  (fun () -> continue k ()))
+                  (fun () ->
+                    set_ctx ();
+                    continue k ()))
         | Now -> Some (fun (k : (b, unit) continuation) -> continue k eng.now)
         | Self ->
             Some
@@ -397,6 +558,7 @@ let mk_result eng ~n_threads =
     coherence = eng.cstats;
     events = eng.events;
     threads_finished = n_threads - eng.live;
+    fp_hits = eng.fp_hits;
     icx = Interconnect.export eng.icx;
     icx_levels = Interconnect.export_levels eng.icx;
     sites = Option.map Coherence.sites eng.prof;
@@ -480,6 +642,11 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
       epoch = Atomic.fetch_and_add epoch_counter 1;
       prof = (if profile then Some (Coherence.make_profiler ()) else None);
       trace;
+      fp_limit = (match horizon with Some h -> h | None -> max_int);
+      fp_hits = 0;
+      cur_tid = -1;
+      cur_dom = -1;
+      cur_cluster = -1;
     }
   in
   for tid = 0 to n_threads - 1 do
@@ -488,12 +655,13 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
        through [context_of_thread]. *)
     let dom = Topology.domain_of_thread topology tid in
     let cluster = Topology.cluster_of_thread topology tid in
+    let h = handler eng ~tid ~dom ~cluster in
     (* 1 ns stagger breaks the t=0 symmetry deterministically. *)
     schedule eng ~tid ~cls:Start ~line:no_line tid (fun () ->
-        match_with
-          (fun () -> body ~tid ~cluster)
-          ()
-          (handler eng ~tid ~dom ~cluster))
+        eng.cur_tid <- tid;
+        eng.cur_dom <- dom;
+        eng.cur_cluster <- cluster;
+        match_with (fun () -> body ~tid ~cluster) () h)
   done;
   Fun.protect
     ~finally:(fun () ->
@@ -505,4 +673,12 @@ let run ~topology ~n_threads ?horizon ?policy ?max_events ?(profile = false)
     (fun () ->
       match eng.mode with
       | Explore ex -> run_explore eng ex ~n_threads ~max_events
-      | Heap heap -> run_heap eng heap ~n_threads ~horizon)
+      | Heap heap ->
+          (* Install the engine for the fast path only in heap mode —
+             under a policy every access must reach the effect handler
+             so the explorer sees every decision point. *)
+          let saved = !cur_engine in
+          cur_engine := Some eng;
+          Fun.protect
+            ~finally:(fun () -> cur_engine := saved)
+            (fun () -> run_heap eng heap ~n_threads ~horizon))

@@ -16,8 +16,13 @@
 type result = {
   end_time : int;  (** simulated ns at which the last event ran. *)
   coherence : Coherence.stats;
-  events : int;  (** total events processed. *)
+  events : int;  (** total events processed, inlined ones included. *)
   threads_finished : int;
+  fp_hits : int;
+      (** events retired inline by the fast path (see {!set_fastpath});
+          a subset of [events]. Always [0] in explore mode and with the
+          fast path disabled. Diagnostic only — every other field, and
+          the schedule itself, is independent of it. *)
   icx : Numa_trace.Profile.interconnect;
       (** interconnect occupancy/queueing statistics for the run,
           aggregated over every level. *)
@@ -119,6 +124,27 @@ val run :
 
     @raise Invalid_argument if [n_threads < 1]. *)
 
+(** {1 Fast path}
+
+    Heap-mode runs retire eligible accesses inline — no effect perform,
+    no heap event — when doing so is provably indistinguishable from
+    the effect path: the access is an epoch-current L1 hit (for writes,
+    on a waiterless line) whose completion time strictly precedes every
+    pending heap event and fits the horizon, i.e. it would have been
+    the very next event popped anyway. See doc/SIMULATOR.md "Engine
+    fast path" for the full argument. Explore mode (a [policy]) always
+    takes the slow path. *)
+
+val set_fastpath : bool -> unit
+(** Process-wide toggle, default on. Turning it off forces every
+    operation through the effect handler — same schedules, same stats,
+    same artifacts, byte for byte (pinned by test_fastpath and the CI
+    determinism stage); only host speed and [result.fp_hits] change.
+    For A/B measurement ([bin/enginebench.exe]) and differential
+    testing. *)
+
+val fastpath_enabled : unit -> bool
+
 (**/**)
 
 (* Effects — exposed for {!Sim_mem}; not part of the user API. *)
@@ -133,7 +159,29 @@ type 'a wait_desc = {
   w_line : Coherence.line;
   w_pred : unit -> 'a option;
   w_timeout : int option;
+  w_precharged : bool;
+      (** the performer already charged the initial read inline and saw
+          the predicate fail: the handler parks directly instead of
+          charging and scheduling a first check. Only valid on untimed
+          descriptors ([w_timeout = None]). *)
 }
+
+val fast_op : Coherence.line -> Coherence.kind -> bool
+(** [true]: the access was charged and the clock advanced — the caller
+    must apply the operation's payload now, inline. [false]: perform
+    the {!Op} effect; nothing was touched. *)
+
+val fast_pause : int -> bool
+(** [true]: the pause elapsed inline (clock advanced). *)
+
+val fast_now : unit -> int
+(** Current simulated time, or [-1] when no heap-mode run is live (then
+    perform {!Now}). *)
+
+val fast_self_tid : unit -> int
+
+val fast_self_cluster : unit -> int
+(** Running fiber's tid / cohort cluster, or [-1] (perform {!Self}). *)
 
 type _ Effect.t +=
   | Op : 'a op -> 'a Effect.t

@@ -5,7 +5,14 @@ type line = Coherence.line
    given cell, and reads dominate simulated instruction streams
    (spinning, lock-word polling), so building them per call was the
    single largest allocation in the hot path. The payloads of the other
-   primitives depend on call arguments and are built per call. *)
+   primitives depend on call arguments and are built per call.
+
+   Every primitive first probes [Engine.fast_op] (the schedule-neutral
+   inline path, see doc/SIMULATOR.md "Engine fast path"): on a hit the
+   engine has already charged the access and advanced the clock, and the
+   payload runs here, inline — the effect perform, handler dispatch and
+   heap round trip all disappear. On a miss nothing was touched and the
+   effect path proceeds exactly as before. *)
 type 'a cell = { v : 'a ref; cline : Coherence.line; r_eff : 'a Effect.t }
 
 let mk_cell cline v =
@@ -23,73 +30,126 @@ let line_site (l : line) = l.Coherence.name
 let cell cline v = mk_cell cline v
 let cell' ?name v = mk_cell (Coherence.make_line ?name ()) v
 
-let read c = Effect.perform c.r_eff
+let read c =
+  if Engine.fast_op c.cline Coherence.Read then !(c.v)
+  else Effect.perform c.r_eff
 
 let write c x =
-  Effect.perform
-    (Engine.Op
-       {
-         o_line = c.cline;
-         o_kind = Coherence.Write;
-         o_run = (fun () -> c.v := x);
-       })
+  if Engine.fast_op c.cline Coherence.Write then c.v := x
+  else
+    Effect.perform
+      (Engine.Op
+         {
+           o_line = c.cline;
+           o_kind = Coherence.Write;
+           o_run = (fun () -> c.v := x);
+         })
 
 let cas c ~expect ~desire =
-  Effect.perform
-    (Engine.Op
-       {
-         o_line = c.cline;
-         o_kind = Coherence.Rmw;
-         o_run =
-           (fun () ->
-             if !(c.v) == expect then begin
-               c.v := desire;
-               true
-             end
-             else false);
-       })
+  if Engine.fast_op c.cline Coherence.Rmw then
+    if !(c.v) == expect then begin
+      c.v := desire;
+      true
+    end
+    else false
+  else
+    Effect.perform
+      (Engine.Op
+         {
+           o_line = c.cline;
+           o_kind = Coherence.Rmw;
+           o_run =
+             (fun () ->
+               if !(c.v) == expect then begin
+                 c.v := desire;
+                 true
+               end
+               else false);
+         })
 
 let swap c x =
-  Effect.perform
-    (Engine.Op
-       {
-         o_line = c.cline;
-         o_kind = Coherence.Rmw;
-         o_run =
-           (fun () ->
-             let old = !(c.v) in
-             c.v := x;
-             old);
-       })
+  if Engine.fast_op c.cline Coherence.Rmw then begin
+    let old = !(c.v) in
+    c.v := x;
+    old
+  end
+  else
+    Effect.perform
+      (Engine.Op
+         {
+           o_line = c.cline;
+           o_kind = Coherence.Rmw;
+           o_run =
+             (fun () ->
+               let old = !(c.v) in
+               c.v := x;
+               old);
+         })
 
 let fetch_and_add c d =
-  Effect.perform
-    (Engine.Op
-       {
-         o_line = c.cline;
-         o_kind = Coherence.Rmw;
-         o_run =
-           (fun () ->
-             let old = !(c.v) in
-             c.v := old + d;
-             old);
-       })
+  if Engine.fast_op c.cline Coherence.Rmw then begin
+    let old = !(c.v) in
+    c.v := old + d;
+    old
+  end
+  else
+    Effect.perform
+      (Engine.Op
+         {
+           o_line = c.cline;
+           o_kind = Coherence.Rmw;
+           o_run =
+             (fun () ->
+               let old = !(c.v) in
+               c.v := old + d;
+               old);
+         })
 
+(* An untimed wait's first predicate check is a charged read followed by
+   either a return (pred holds) or a park: when the charged read itself
+   fast-paths, evaluate the predicate here — at the check's exact
+   simulated time — and either return without any effect at all, or park
+   through a [w_precharged] descriptor so the handler neither re-charges
+   nor schedules the already-consumed first check. Timed waits always
+   take the effect path: their deadline is computed from [now] at
+   perform time, which the precharge has already advanced. *)
 let wait_until c p =
-  let desc =
-    Engine.
-      {
-        w_line = c.cline;
-        w_pred =
-          (fun () ->
-            let v = !(c.v) in
-            if p v then Some v else None);
-        w_timeout = None;
-      }
-  in
-  match Effect.perform (Engine.Wait desc) with
-  | Some v -> v
-  | None -> assert false (* untimed waits never time out *)
+  if Engine.fast_op c.cline Coherence.Read then begin
+    let v = !(c.v) in
+    if p v then v
+    else
+      let desc =
+        Engine.
+          {
+            w_line = c.cline;
+            w_pred =
+              (fun () ->
+                let v = !(c.v) in
+                if p v then Some v else None);
+            w_timeout = None;
+            w_precharged = true;
+          }
+      in
+      match Effect.perform (Engine.Wait desc) with
+      | Some v -> v
+      | None -> assert false (* untimed waits never time out *)
+  end
+  else
+    let desc =
+      Engine.
+        {
+          w_line = c.cline;
+          w_pred =
+            (fun () ->
+              let v = !(c.v) in
+              if p v then Some v else None);
+          w_timeout = None;
+          w_precharged = false;
+        }
+    in
+    match Effect.perform (Engine.Wait desc) with
+    | Some v -> v
+    | None -> assert false (* untimed waits never time out *)
 
 let wait_until_for c p ~timeout =
   let desc =
@@ -101,12 +161,22 @@ let wait_until_for c p ~timeout =
             let v = !(c.v) in
             if p v then Some v else None);
         w_timeout = Some timeout;
+        w_precharged = false;
       }
   in
   Effect.perform (Engine.Wait desc)
 
-let pause d = Effect.perform (Engine.Pause d)
+let pause d = if Engine.fast_pause d then () else Effect.perform (Engine.Pause d)
 let cpu_relax () = pause 1
-let now () = Effect.perform Engine.Now
-let self_id () = fst (Effect.perform Engine.Self)
-let self_cluster () = snd (Effect.perform Engine.Self)
+
+let now () =
+  let t = Engine.fast_now () in
+  if t >= 0 then t else Effect.perform Engine.Now
+
+let self_id () =
+  let tid = Engine.fast_self_tid () in
+  if tid >= 0 then tid else fst (Effect.perform Engine.Self)
+
+let self_cluster () =
+  let cl = Engine.fast_self_cluster () in
+  if cl >= 0 then cl else snd (Effect.perform Engine.Self)

@@ -34,11 +34,14 @@
 #   determinism  quick sim benchmark emitting BENCH_head.json, then the
 #                same seed re-run WITHOUT --profile byte-compared against
 #                the first run WITH it (profiling is stats-only, so the
-#                artifacts must be identical); plus a same-seed fig2
-#                byte-diff on the rack preset (the multi-level path must
-#                be as deterministic as the flat one). Only freshly
-#                emitted BENCH artifacts participate; HOSTPERF_*.json is
-#                host wall-clock and never byte-compared.
+#                artifacts must be identical); the same seed re-run with
+#                --fastpath off byte-compared too (the engine fast path
+#                must be invisible in every simulated result); plus a
+#                same-seed fig2 byte-diff on the rack preset (the
+#                multi-level path must be as deterministic as the flat
+#                one). Only freshly emitted BENCH artifacts participate;
+#                HOSTPERF_*.json is host wall-clock and never
+#                byte-compared.
 #   bench-diff   regression gate: bench_diff of BENCH_head.json against
 #                the newest committed BENCH_*.json (>10% throughput drop
 #                on any entry fails; every registry lock must have a
@@ -250,6 +253,16 @@ if want determinism; then
     echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
     echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
     echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
+    exit 1
+  fi
+  echo "   artifacts byte-identical"
+  echo "   same-seed re-run with --fastpath off, byte diff"
+  bench quick --fastpath off --emit-bench-json "$tmp/BENCH_head3.json" \
+    >"$tmp/bench3.log"
+  if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head3.json"; then
+    echo "ci: FAIL — the engine fast path changed a simulated result;" >&2
+    echo "inline retirement must replay the heap schedule bit-exactly" >&2
+    echo "(see doc/SIMULATOR.md \"Engine fast path\")." >&2
     exit 1
   fi
   echo "   artifacts byte-identical"

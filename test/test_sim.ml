@@ -441,6 +441,64 @@ let test_waiter_scans_counted () =
   Alcotest.(check bool)
     "write over a parked waiter scans the queue" true (with_waiter >= 1)
 
+let test_fastpath_counter_parity () =
+  (* [waiter_scans] and the hit counters must count identically whether
+     an access retires inline (engine fast path) or through the effect
+     handler — rerun the waiter-scan and determinism workloads under
+     both settings and demand equal stats (test_fastpath holds the full
+     differential; this pins the specific counters). *)
+  let with_fastpath b f =
+    let saved = E.fastpath_enabled () in
+    E.set_fastpath b;
+    Fun.protect ~finally:(fun () -> E.set_fastpath saved) f
+  in
+  let stats_of (r : E.result) =
+    let c = r.E.coherence in
+    ( r.E.end_time,
+      r.E.events,
+      c.Numasim.Coherence.accesses,
+      c.Numasim.Coherence.l1_hits,
+      c.Numasim.Coherence.local_hits,
+      c.Numasim.Coherence.coherence_misses,
+      c.Numasim.Coherence.waiter_scans )
+  in
+  let waiter_workload () =
+    let flag = M.cell' 0 in
+    E.run ~topology:topo ~n_threads:3 (fun ~tid ~cluster:_ ->
+        if tid = 0 then begin
+          M.pause 5_000;
+          M.write flag 1
+        end
+        else ignore (M.wait_until flag (fun v -> v = 1)))
+  in
+  let cas_workload () =
+    let c = M.cell' 0 in
+    E.run ~topology:topo ~n_threads:6 (fun ~tid:_ ~cluster:_ ->
+        for _ = 1 to 30 do
+          let rec loop () =
+            let v = M.read c in
+            if not (M.cas c ~expect:v ~desire:(v + 1)) then loop ()
+          in
+          loop ();
+          M.pause 17
+        done)
+  in
+  List.iter
+    (fun (name, engages, workload) ->
+      let on = with_fastpath true workload in
+      let off = with_fastpath false workload in
+      (* The waiter workload is all first-touches and cross-thread
+         traffic — nothing is eligible, which is itself worth pinning;
+         the CAS storm must actually exercise the inline path. *)
+      Alcotest.(check bool)
+        (name ^ ": fast path engagement") true
+        (on.E.fp_hits > 0 = engages && off.E.fp_hits = 0);
+      Alcotest.(check bool)
+        (name ^ ": counters identical on both paths")
+        true
+        (stats_of on = stats_of off))
+    [ ("waiter", false, waiter_workload); ("cas", true, cas_workload) ]
+
 let suite =
   [
     ( "event_heap",
@@ -481,6 +539,8 @@ let suite =
         Alcotest.test_case "events counted" `Quick test_events_counted;
         Alcotest.test_case "waiter scans counted" `Quick
           test_waiter_scans_counted;
+        Alcotest.test_case "fastpath counter parity" `Quick
+          test_fastpath_counter_parity;
       ] );
     ( "coherence",
       [
