@@ -145,7 +145,48 @@ let print_profiles (sweep : X.sweep) =
     sweep.X.columns;
   print_newline ()
 
-let run_sim ~quick ~trace ~emit ~profile =
+(* [--predict]: predicted-vs-measured throughput for the main sweep,
+   ranked by |error|. Stdout only, like --profile: predictions are pure
+   arithmetic over the rollups, so sweeps and artifacts are identical
+   with and without the flag. *)
+let print_predictions (sweep : X.sweep) =
+  print_endline "=== Analytic throughput prediction (--predict) ===";
+  let points =
+    List.concat
+      (List.mapi
+         (fun i name ->
+           Array.to_list sweep.X.cells.(i)
+           |> List.map (fun (r : Harness.Lbench.result) -> (name, r)))
+         sweep.X.columns)
+  in
+  let ranked =
+    List.stable_sort
+      (fun (_, (a : Harness.Lbench.result)) (_, b) ->
+        let key (r : Harness.Lbench.result) =
+          match r.Harness.Lbench.predicted with
+          | Some p when not (Float.is_nan p.Numa_trace.Predict.err) ->
+              Float.abs p.Numa_trace.Predict.err
+          | _ -> Float.neg_infinity
+        in
+        Float.compare (key b) (key a))
+      points
+  in
+  Printf.printf "  %-12s %4s  %11s  %11s  %7s\n" "lock" "thr" "measured"
+    "predicted" "err";
+  List.iter
+    (fun (name, (r : Harness.Lbench.result)) ->
+      match r.Harness.Lbench.predicted with
+      | None ->
+          Printf.printf "  %-12s %4d  %11.3e  %11s  %7s\n" name
+            r.Harness.Lbench.n_threads r.Harness.Lbench.throughput "-" "-"
+      | Some p ->
+          Printf.printf "  %-12s %4d  %11.3e  %11.3e  %+6.1f%%\n" name
+            r.Harness.Lbench.n_threads r.Harness.Lbench.throughput
+            p.Numa_trace.Predict.throughput (100. *. p.Numa_trace.Predict.err))
+    ranked;
+  print_newline ()
+
+let run_sim ~quick ~trace ~emit ~profile ~predict =
   let seed = 42 in
   let duration = if quick then 2_000_000 else 5_000_000 in
   let fig_threads =
@@ -160,7 +201,7 @@ let run_sim ~quick ~trace ~emit ~profile =
   in
   Printf.printf "%s\n\n%!" (X.params_summary ~topology ~duration ~seed);
   let sink, finish_trace = trace_sink trace in
-  let rollup = emit <> None in
+  let rollup = emit <> None || predict in
   let sweep =
     X.microbench_sweep
       ~locks:(List.map (R.with_trace sink) R.microbench_locks)
@@ -172,6 +213,7 @@ let run_sim ~quick ~trace ~emit ~profile =
   X.print_fig5 sweep;
   X.print_fig5_latency sweep;
   if profile then print_profiles sweep;
+  if predict then print_predictions sweep;
   let asweep =
     X.abortable_sweep
       ~locks:(List.map (R.with_trace_abortable sink) R.abortable_locks)
@@ -272,27 +314,29 @@ let run_sim ~quick ~trace ~emit ~profile =
       Printf.printf "Wrote bench artifact to %s\n%!" path
 
 let () =
-  let rec parse (quick, trace, emit, profile) = function
-    | [] -> (quick, trace, emit, profile)
-    | "quick" :: rest -> parse (true, trace, emit, profile) rest
-    | "--trace" :: f :: rest -> parse (quick, Some f, emit, profile) rest
+  let rec parse (quick, trace, emit, profile, predict) = function
+    | [] -> (quick, trace, emit, profile, predict)
+    | "quick" :: rest -> parse (true, trace, emit, profile, predict) rest
+    | "--trace" :: f :: rest ->
+        parse (quick, Some f, emit, profile, predict) rest
     | "--emit-bench-json" :: f :: rest ->
-        parse (quick, trace, Some f, profile) rest
-    | "--profile" :: rest -> parse (quick, trace, emit, true) rest
+        parse (quick, trace, Some f, profile, predict) rest
+    | "--profile" :: rest -> parse (quick, trace, emit, true, predict) rest
+    | "--predict" :: rest -> parse (quick, trace, emit, profile, true) rest
     (* The artifacts must be byte-identical either way (CI diffs them);
        the flag exists so that check is cheap to run. *)
     | "--fastpath" :: ("on" | "off" as v) :: rest ->
         Numasim.Engine.set_fastpath (v = "on");
-        parse (quick, trace, emit, profile) rest
+        parse (quick, trace, emit, profile, predict) rest
     | a :: _ ->
         Printf.eprintf
           "unknown argument %S (expected: quick, --trace FILE, \
-           --emit-bench-json FILE, --profile, --fastpath on|off)\n"
+           --emit-bench-json FILE, --profile, --predict, --fastpath on|off)\n"
           a;
         exit 2
   in
-  let quick, trace, emit, profile =
-    parse (false, None, None, false) (List.tl (Array.to_list Sys.argv))
+  let quick, trace, emit, profile, predict =
+    parse (false, None, None, false, false) (List.tl (Array.to_list Sys.argv))
   in
   run_bechamel ();
-  run_sim ~quick ~trace ~emit ~profile
+  run_sim ~quick ~trace ~emit ~profile ~predict

@@ -28,19 +28,29 @@ let load what path =
       Printf.eprintf "bench_diff: cannot read %s artifact %s: %s\n" what path e;
       exit 2
 
-(* Informational (non-gating) coherence-rollup deltas: only when both
-   artifacts are cohort-bench/2 — version-1 baselines have no coh_*/icx_*
-   fields to compare. Coherence traffic is a model property, so shifts
-   here explain throughput moves rather than gate them. *)
+(* Informational (non-gating) rollup deltas, compared per-metric by
+   presence so mixed-version pairs work: a cohort-bench/2 baseline has
+   no pred_*/quantile fields and those rows simply don't print, while
+   the shared coh_*/icx_* curves still do (and a version-1 baseline has
+   none of them). Coherence traffic and prediction accuracy are model
+   properties, so shifts here explain throughput moves rather than gate
+   them. *)
 let coh_metrics =
   [
     "coh_remote_transfers_per_acq";
     "coh_invalidations_per_release";
     "icx_queue_ns";
+    "hold_p50_ns";
+    "hold_p99_ns";
+    "wait_p50_ns";
+    "wait_p99_ns";
+    "batch_p50";
+    "pred_throughput";
+    "pred_err";
   ]
 
 let print_coherence_deltas (b : BJ.t) (c : BJ.t) =
-  if b.BJ.schema = BJ.schema_version && c.BJ.schema = BJ.schema_version then begin
+  begin
     let index = Hashtbl.create 64 in
     List.iter
       (fun (e : BJ.entry) ->
@@ -68,8 +78,7 @@ let print_coherence_deltas (b : BJ.t) (c : BJ.t) =
                        && Float.abs ((cv -. bv) /. bv) > 0.05 ->
                     if !shown = 0 then
                       print_endline
-                        "coherence deltas (informational, >5% shift, not \
-                         gated):";
+                        "rollup deltas (informational, >5% shift, not gated):";
                     incr shown;
                     Printf.printf "  %-40s %-30s %.4g -> %.4g (%+.1f%%)\n" key
                       metric bv cv

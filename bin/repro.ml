@@ -541,46 +541,18 @@ let profile_cmd =
               name;
             exit 2
       in
-      let mcs = per_acq (get "MCS") and cohort = per_acq (get "C-BO-MCS") in
-      if Float.is_nan mcs || Float.is_nan cohort then begin
-        Printf.eprintf "profile --check: no coherence data (native run?)\n%!";
-        exit 1
-      end;
-      if cohort < mcs then
-        Printf.printf
-          "check OK: C-BO-MCS moves fewer lock-word transfers than MCS \
-           (%.3f < %.3f per acquisition)\n\
-           %!"
-          cohort mcs
-      else begin
-        Printf.eprintf
-          "check FAILED: C-BO-MCS remote transfers per acquisition (%.3f) \
-           not below MCS (%.3f)\n\
-           %!"
-          cohort mcs;
-        exit 1
-      end;
-      let cna_lines = lines (get "CNA")
-      and cbm_lines = lines (get "C-BO-MCS") in
-      if cna_lines <= 0 || cbm_lines <= 0 then begin
-        Printf.eprintf
-          "profile --check: no per-site line counts (native run?)\n%!";
-        exit 1
-      end;
-      if cna_lines < cbm_lines then
-        Printf.printf
-          "check OK: CNA touches fewer distinct lock-metadata cache lines \
-           than C-BO-MCS (%d < %d at %d threads)\n\
-           %!"
-          cna_lines cbm_lines n
-      else begin
-        Printf.eprintf
-          "check FAILED: CNA lock-metadata lines (%d) not below C-BO-MCS \
-           (%d)\n\
-           %!"
-          cna_lines cbm_lines;
-        exit 1
-      end
+      let gate = function
+        | Ok msg -> Printf.printf "check OK: %s\n%!" msg
+        | Error msg ->
+            Printf.eprintf "check FAILED: %s\n%!" msg;
+            exit 1
+      in
+      gate
+        (Harness.Gates.transfers_claim ~mcs_per_acq:(per_acq (get "MCS"))
+           ~cohort_per_acq:(per_acq (get "C-BO-MCS")));
+      gate
+        (Harness.Gates.lines_claim ~cna_lines:(lines (get "CNA"))
+           ~cohort_lines:(lines (get "C-BO-MCS")))
     end
   in
   Cmd.v
@@ -609,6 +581,130 @@ let profile_cmd =
                  transfers per acquisition than MCS, and CNA touches fewer \
                  distinct lock-metadata cache lines than C-BO-MCS (the \
                  paper-claim gate used by scripts/ci.sh)."))
+
+let predict_cmd =
+  (* The throughput oracle (doc/SIMULATOR.md "Model validation"): run
+     the LBench sweep with rollups on, print predicted vs measured per
+     point ranked by |error|, and under --check gate the median absolute
+     error on the core curves through Harness.Gates. *)
+  let run topology lock_names threads duration seed check =
+    banner topology duration seed;
+    let duration = duration * 1_000_000 in
+    let locks =
+      List.map
+        (fun name ->
+          match LR.find name with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "predict: unknown lock %S\n%!" name;
+              exit 2)
+        lock_names
+    in
+    let s =
+      X.microbench_sweep ~locks ~rollup:true ~topology ~threads ~duration
+        ~seed ()
+    in
+    let points =
+      List.concat
+        (List.mapi
+           (fun i name ->
+             Array.to_list s.X.cells.(i)
+             |> List.map (fun (r : Harness.Lbench.result) -> (name, r)))
+           s.X.columns)
+    in
+    let err_pct (r : Harness.Lbench.result) =
+      match r.Harness.Lbench.predicted with
+      | Some p -> 100. *. p.Numa_trace.Predict.err
+      | None -> Float.nan
+    in
+    let ranked =
+      List.stable_sort
+        (fun (_, a) (_, b) ->
+          (* |err| descending; nan (no prediction) sorts last. *)
+          let key r =
+            let e = Float.abs (err_pct r) in
+            if Float.is_nan e then Float.neg_infinity else e
+          in
+          Float.compare (key b) (key a))
+        points
+    in
+    Printf.printf
+      "\npredicted vs measured throughput (LBench), worst first:\n";
+    Printf.printf "  %-12s %4s  %11s  %11s  %7s  %9s ns  %8s ns\n" "lock" "thr"
+      "measured" "predicted" "err" "service" "handoff";
+    List.iter
+      (fun (name, (r : Harness.Lbench.result)) ->
+        match r.Harness.Lbench.predicted with
+        | None ->
+            Printf.printf "  %-12s %4d  %11.3e  %11s  %7s\n" name
+              r.Harness.Lbench.n_threads r.Harness.Lbench.throughput "-" "-"
+        | Some p ->
+            Printf.printf
+              "  %-12s %4d  %11.3e  %11.3e  %+6.1f%%  %9.1f     %8.1f\n" name
+              r.Harness.Lbench.n_threads r.Harness.Lbench.throughput
+              p.Numa_trace.Predict.throughput (100. *. p.Numa_trace.Predict.err)
+              p.Numa_trace.Predict.service_ns p.Numa_trace.Predict.handoff_ns)
+      ranked;
+    if check then begin
+      let core =
+        List.concat_map
+          (fun lock ->
+            List.map (fun n -> (lock, n)) Harness.Gates.pred_core_threads)
+          Harness.Gates.pred_core_locks
+      in
+      let errs =
+        List.map
+          (fun (lock, n) ->
+            match
+              List.find_opt
+                (fun (name, (r : Harness.Lbench.result)) ->
+                  name = lock && r.Harness.Lbench.n_threads = n)
+                points
+            with
+            | Some (_, r) -> err_pct r
+            | None ->
+                Printf.eprintf
+                  "predict --check: core point %s @ %d threads not in the run \
+                   (need %s at threads %s)\n\
+                   %!"
+                  lock n
+                  (String.concat ", " Harness.Gates.pred_core_locks)
+                  (String.concat ","
+                     (List.map string_of_int Harness.Gates.pred_core_threads));
+                exit 2)
+          core
+      in
+      match Harness.Gates.prediction_claim ~err_pcts:errs with
+      | Ok msg -> Printf.printf "check OK: %s\n%!" msg
+      | Error msg ->
+          Printf.eprintf "check FAILED: %s\n%!" msg;
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Analytic throughput prediction (serial/contended decomposition over \
+          the trace rollup and interconnect stats) against the measured \
+          LBench curves, ranked by error.")
+    Term.(
+      const run $ topology_arg
+      $ Arg.(
+          value
+          & pos_all string [ "MCS"; "C-BO-MCS"; "CNA"; "PTL" ]
+          & info [] ~docv:"LOCK"
+              ~doc:
+                "Registry locks to predict (default: MCS C-BO-MCS CNA PTL).")
+      $ threads_arg ~default:Harness.Gates.pred_core_threads
+      $ duration_arg $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Exit non-zero unless the median absolute prediction error on \
+                 the core curves (MCS, C-BO-MCS, CNA at the pinned thread \
+                 counts) stays within the stated band (the prediction gate \
+                 used by scripts/ci.sh)."))
 
 let collapse_cmd =
   (* Saturation collapse: thread counts from capacity to far past it,
@@ -741,6 +837,7 @@ let () =
       successors_cmd;
       collapse_cmd;
       profile_cmd;
+      predict_cmd;
       all_cmd;
     ]
   in

@@ -173,6 +173,25 @@ let cluster_of_thread t tid = cluster_of_domain t (domain_of_thread t tid)
 let xfer_cost t a b = t.xfer.((a * t.domains) + b)
 let cross_level t a b = t.xlevel.((a * t.domains) + b)
 
+let mean_remote_transfer_ns t =
+  if t.domains = 1 then float_of_int t.levels.(0).l_transfer
+  else begin
+    let sum = ref 0 and pairs = ref 0 in
+    for a = 0 to t.domains - 1 do
+      for b = a + 1 to t.domains - 1 do
+        sum := !sum + xfer_cost t a b;
+        incr pairs
+      done
+    done;
+    float_of_int !sum /. float_of_int !pairs
+  end
+
+let predict_calib t =
+  { Numa_trace.Predict.contexts = total_threads t;
+    local_ns = float_of_int t.latency.Latency.local_hit;
+    remote_ns = mean_remote_transfer_ns t;
+    atomic_ns = float_of_int t.latency.Latency.atomic_extra }
+
 (* Reference counting loop, still the only option for explicit maps. *)
 let threads_on_cluster_loop t ~n c =
   let count = ref 0 in

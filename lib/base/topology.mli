@@ -155,6 +155,18 @@ val cross_level : t -> int -> int -> int
 (** The index into [levels] of the outermost boundary separating two
     distinct leaf domains. *)
 
+val mean_remote_transfer_ns : t -> float
+(** Mean of {!xfer_cost} over the distinct leaf-domain pairs — the
+    expected cost of a cross-cluster line transfer under uniformly
+    mixed traffic. Equals [remote_transfer] on a flat machine; a
+    degenerate single-domain machine reports its level's transfer
+    cost. *)
+
+val predict_calib : t -> Numa_trace.Predict.calib
+(** Calibration constants for {!Numa_trace.Predict.predict}: context
+    count, [local_hit], {!mean_remote_transfer_ns} and [atomic_extra]
+    (see doc/SIMULATOR.md "Model validation"). *)
+
 val threads_on_cluster : t -> n_threads:int -> int -> int
 (** [threads_on_cluster t ~n_threads c] is how many of the first
     [min n_threads (total_threads t)] thread ids are placed on cluster

@@ -18,6 +18,7 @@ type result = {
   acquire_max : float;
   rollup : Numa_trace.Metrics.t option;
   profile : Numa_trace.Profile.t option;
+  predicted : Numa_trace.Predict.t option;
 }
 
 module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
@@ -68,6 +69,7 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
       acquire_p99 = pct 0.99;
       acquire_max = float_of_int (Stats.Histogram.max_seen latencies);
       rollup = None;
+      predicted = None;
       profile =
         (* Coherence totals and interconnect stats come with every
            simulated run; the per-site table is filled only when the run
@@ -118,6 +120,36 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
 
   let non_cs_delay rng = Prng.int rng 4_000 (* idle spin of up to 4 us *)
 
+  (* Mean of the uniform non-critical delay above — the analytic model's
+     per-iteration idle term. Keep in lock-step with [non_cs_delay]. *)
+  let non_cs_delay_mean_ns = 2_000.
+
+  (* Analytic throughput prediction (doc/SIMULATOR.md "Model
+     validation"): pure arithmetic over the rollup + engine-global
+     interconnect stats, computed after the run — never per-site rows,
+     so the value is identical with and without [--profile] and with the
+     engine fast path on or off. *)
+  let attach_prediction ~topology res =
+    match (res.rollup, res.profile) with
+    | Some m, Some p when res.iterations > 0 ->
+        let icx = p.Numa_trace.Profile.icx in
+        let icx_queue_mean_ns =
+          if icx.Numa_trace.Profile.txns = 0 then 0.
+          else
+            float_of_int icx.Numa_trace.Profile.queue_ns
+            /. float_of_int icx.Numa_trace.Profile.txns
+        in
+        let pred =
+          Numa_trace.Predict.predict
+            ~calib:(Topology.predict_calib topology)
+            ~noncrit_ns:non_cs_delay_mean_ns ~n_threads:res.n_threads
+            ~hold_mean_ns:m.Numa_trace.Metrics.hold_mean
+            ~batch_p50:m.Numa_trace.Metrics.batch_p50 ~icx_queue_mean_ns
+            ~measured:res.throughput ()
+        in
+        { res with predicted = Some pred }
+    | _ -> res
+
   (* Rollup capture: tee a bounded ring into the lock's configured trace
      sink for the duration of the run, then summarise the window. The
      ring keeps the most recent [rollup_capacity] events, so on long runs
@@ -146,7 +178,9 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
 
   let run ?name ?(rollup = false) ?(profile = false) (module L : LI.LOCK)
       ~topology ~cfg ~n_threads ~duration ~seed =
-    with_rollup ~rollup cfg @@ fun cfg ->
+    attach_prediction ~topology
+    @@ with_rollup ~rollup cfg
+    @@ fun cfg ->
     let l = L.create cfg in
     run_generic ~lock_name:(Option.value name ~default:L.name) ~profile
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts:_
@@ -174,7 +208,9 @@ module Make (M : Memory_intf.MEMORY) (RT : Runtime_intf.RUNTIME) = struct
   let run_abortable ?name ?(rollup = false) ?(profile = false)
       (module L : LI.ABORTABLE_LOCK) ~topology ~cfg ~n_threads ~duration ~seed
       ~patience =
-    with_rollup ~rollup cfg @@ fun cfg ->
+    attach_prediction ~topology
+    @@ with_rollup ~rollup cfg
+    @@ fun cfg ->
     let l = L.create cfg in
     run_generic ~lock_name:(Option.value name ~default:L.name) ~profile
       ~register_and_loop:(fun ~stop ~tid ~cluster ~rng ~data ~counts ~aborts

@@ -42,6 +42,14 @@ type result = {
           (engine-global totals and interconnect stats always; the
           per-site table only when run with [~profile:true]), [None] on
           the native one. *)
+  predicted : Numa_trace.Predict.t option;
+      (** analytic throughput prediction for the point (doc/SIMULATOR.md
+          "Model validation"): [Some] when the run was simulated, rolled
+          up, and completed at least one iteration. Computed from the
+          rollup, the engine-global interconnect stats and topology
+          calibration only — never the per-site table — so it is
+          identical with and without [~profile] and cannot perturb a
+          schedule. *)
 }
 
 module Make (M : Numa_base.Memory_intf.MEMORY) (RT : Numa_base.Runtime_intf.RUNTIME) : sig

@@ -1,7 +1,7 @@
 module J = Numa_trace.Json
 
-let schema_version = "cohort-bench/2"
-let accepted_schemas = [ "cohort-bench/1"; schema_version ]
+let schema_version = "cohort-bench/3"
+let accepted_schemas = [ "cohort-bench/1"; "cohort-bench/2"; schema_version ]
 
 type entry = {
   experiment : string;
@@ -45,7 +45,10 @@ let entry_of_result ~experiment (r : Bench_core.result) =
         | None -> []
         | Some p ->
             Numa_trace.Profile.to_fields ~acquires:r.Bench_core.iterations
-              ~releases:r.Bench_core.iterations p);
+              ~releases:r.Bench_core.iterations p)
+      @ (match r.Bench_core.predicted with
+        | None -> []
+        | Some p -> Numa_trace.Predict.to_fields p);
   }
 
 let num v =

@@ -10,11 +10,14 @@
     byte-identical files — the property [scripts/ci.sh] checks. *)
 
 val schema_version : string
-(** ["cohort-bench/2"]; bumped on any entry/metric shape change. Version
-    2 adds the coherence/interconnect rollup metrics ([coh_*], [icx_*])
-    to every simulated entry. {!read}/{!of_json} still accept version-1
-    artifacts (the [t.schema] field keeps whatever was read), so older
-    committed baselines keep gating. *)
+(** ["cohort-bench/3"]; bumped on any entry/metric shape change. Version
+    2 added the coherence/interconnect rollup metrics ([coh_*], [icx_*])
+    to every simulated entry; version 3 adds the analytic-prediction
+    fields ([pred_*]) to every rolled-up simulated entry and the trace
+    rollup (hold/wait/batch quantiles) to collapse entries.
+    {!read}/{!of_json} still accept version-1/2 artifacts (the
+    [t.schema] field keeps whatever was read), so older committed
+    baselines keep gating. *)
 
 type entry = {
   experiment : string;  (** e.g. ["lbench"], ["lbench-abortable"]. *)

@@ -22,6 +22,7 @@ type result = Bench_core.result = {
   acquire_max : float;
   rollup : Numa_trace.Metrics.t option;
   profile : Numa_trace.Profile.t option;
+  predicted : Numa_trace.Predict.t option;
 }
 
 let run = Core.run

@@ -36,6 +36,9 @@ type result = Bench_core.result = {
       (** coherence attribution rollup — always [Some] here (the
           simulator measures coherence); the per-site table inside it is
           non-empty only with [~profile:true]. *)
+  predicted : Numa_trace.Predict.t option;
+      (** analytic throughput prediction; [Some] whenever the run rolled
+          up and completed at least one iteration (see {!Bench_core}). *)
 }
 
 val run :

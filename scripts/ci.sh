@@ -31,10 +31,16 @@
 #                acquisition than MCS (the paper claim), and CNA must
 #                touch fewer distinct lock-metadata cache lines than
 #                C-BO-MCS (the successor claim)
-#   determinism  quick sim benchmark emitting BENCH_head.json, then the
-#                same seed re-run WITHOUT --profile byte-compared against
-#                the first run WITH it (profiling is stats-only, so the
-#                artifacts must be identical); the same seed re-run with
+#   predict      prediction-accuracy gate (repro predict --check): the
+#                analytic throughput model's median absolute error on
+#                the core curves (MCS, C-BO-MCS, CNA at the pinned
+#                thread counts) must stay within the band stated in
+#                Harness.Gates / EXPERIMENTS.md "Prediction"
+#   determinism  quick sim benchmark emitting BENCH_head.json — run with
+#                --profile AND --predict — then the same seed re-run
+#                with neither flag byte-compared against it (profiling
+#                and prediction are pure observation, so the artifacts
+#                must be identical); the same seed re-run with
 #                --fastpath off byte-compared too (the engine fast path
 #                must be invisible in every simulated result); plus a
 #                same-seed fig2 byte-diff on the rack preset (the
@@ -55,7 +61,7 @@
 # build lock, so nested dune invocations would hang).
 set -euo pipefail
 
-STAGES=(check runtest torture explore collapse enginebench paper-claim determinism bench-diff)
+STAGES=(check runtest torture explore collapse enginebench paper-claim predict determinism bench-diff)
 
 usage() {
   echo "usage: scripts/ci.sh [--stage NAME]..."
@@ -235,11 +241,22 @@ else
   skip paper-claim "skipped (--stage)"
 fi
 
+# --- predict --------------------------------------------------------------
+
+if want predict; then
+  begin predict
+  repro predict --check --duration-ms 2 >"$tmp/predict.log"
+  tail -n 1 "$tmp/predict.log"
+  end
+else
+  skip predict "skipped (--stage)"
+fi
+
 # --- determinism ----------------------------------------------------------
 
 emit_bench_head() {
-  echo "   quick sim benchmark -> BENCH_head.json (with --profile)"
-  bench quick --profile --emit-bench-json "$tmp/BENCH_head.json" \
+  echo "   quick sim benchmark -> BENCH_head.json (with --profile --predict)"
+  bench quick --profile --predict --emit-bench-json "$tmp/BENCH_head.json" \
     >"$tmp/bench1.log"
   tail -n 3 "$tmp/bench1.log"
 }
@@ -247,12 +264,13 @@ emit_bench_head() {
 if want determinism; then
   begin determinism
   emit_bench_head
-  echo "   same-seed re-run without --profile, byte diff"
+  echo "   same-seed re-run without --profile/--predict, byte diff"
   bench quick --emit-bench-json "$tmp/BENCH_head2.json" >"$tmp/bench2.log"
   if ! cmp "$tmp/BENCH_head.json" "$tmp/BENCH_head2.json"; then
     echo "ci: FAIL — same-seed benchmark artifacts differ; the simulation" >&2
     echo "has picked up wall-clock or global-Random nondeterminism (or" >&2
-    echo "--profile perturbed schedules/artifacts, which it must never do)." >&2
+    echo "--profile/--predict perturbed schedules/artifacts, which they" >&2
+    echo "must never do)." >&2
     exit 1
   fi
   echo "   artifacts byte-identical"

@@ -215,6 +215,36 @@ let prop_cohort_grouping =
       done;
       !ok)
 
+(* The prediction calibration's mean transfer cost agrees with a
+   reference loop over every ordered domain pair (the matrix is
+   symmetric, so ordered = unordered); a flat machine reports exactly
+   the preset's remote_transfer. *)
+let prop_mean_remote =
+  QCheck.Test.make ~name:"mean_remote_transfer_ns = reference mean" ~count:200
+    arb_spec (fun s ->
+      let t = build s in
+      if t.T.domains = 1 then
+        T.mean_remote_transfer_ns t
+        = float_of_int t.T.levels.(0).T.l_transfer
+      else begin
+        let sum = ref 0 and n = ref 0 in
+        for a = 0 to t.T.domains - 1 do
+          for b = 0 to t.T.domains - 1 do
+            if a <> b then begin
+              sum := !sum + T.xfer_cost t a b;
+              incr n
+            end
+          done
+        done;
+        let reference = float_of_int !sum /. float_of_int !n in
+        Float.abs (T.mean_remote_transfer_ns t -. reference) < 1e-6
+      end)
+
+let test_mean_remote_flat () =
+  Alcotest.(check (float 0.))
+    "t5440 mean transfer = remote_transfer" 125.
+    (T.mean_remote_transfer_ns T.t5440)
+
 let () =
   Alcotest.run "topology"
     [
@@ -223,5 +253,12 @@ let () =
           [ prop_partition; prop_closed_form; prop_cluster_in_range ] );
       ( "hierarchy",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_matrices; prop_flat_equivalence; prop_cohort_grouping ] );
+          [
+            prop_matrices; prop_flat_equivalence; prop_cohort_grouping;
+            prop_mean_remote;
+          ]
+        @ [
+            Alcotest.test_case "flat mean transfer" `Quick
+              test_mean_remote_flat;
+          ] );
     ]
